@@ -1,0 +1,59 @@
+package quasii
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// BatchQuery executes many range queries against ix across worker
+// goroutines, returning one result slice (object IDs) per query, in query
+// order.
+//
+// The index must be safe for concurrent reads: the static indexes (RTree,
+// Grid, TwoLevelGrid, Octree, SFC, Scan) are; the incremental indexes
+// (QUASII, SFCracker, Mosaic) mutate during Query and must be wrapped with
+// Synchronize first — which serializes them, so parallel batches only pay
+// off on static structures (or on a QUASII after Complete, wrapped anyway
+// for safety). workers <= 0 means GOMAXPROCS.
+func BatchQuery(ix Index, queries []Box, workers int) [][]int32 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	results := make([][]int32, len(queries))
+	if workers <= 1 {
+		for i, q := range queries {
+			results[i] = ix.Query(q, nil)
+		}
+		return results
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(queries) {
+					return
+				}
+				results[i] = ix.Query(queries[i], nil)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// LoadQUASII reconstructs a QUASII index previously saved with
+// (*QUASII).Save, restoring the data array, the pending buffer and the
+// full slice hierarchy — an exploration session's accumulated refinement
+// survives the process.
+func LoadQUASII(r io.Reader) (*QUASII, error) { return core.Load(r) }

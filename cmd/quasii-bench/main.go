@@ -1,0 +1,143 @@
+// Command quasii-bench regenerates the tables and figures of the QUASII
+// paper's evaluation (Section 6). Each figure is a subexperiment that runs
+// every index the paper compares on the figure's workload, validates that
+// all indexes agree on every query result, and prints the series the paper
+// plots.
+//
+// Usage:
+//
+//	quasii-bench [-scale small|medium|large] [-seed N] [fig...]
+//
+// With no figure arguments, all figures run in paper order. Available
+// figures: fig6a fig6b fig7 fig8 fig9 fig10 fig11 fig12 gridsweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "experiment scale: small, medium or large")
+	seed := flag.Int64("seed", 0, "override the dataset/workload RNG seed (0 = scale default)")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into (created if missing)")
+	list := flag.Bool("list", false, "list available figures and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(experiments.Registry))
+		for name := range experiments.Registry {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	scale, ok := experiments.Scales[*scaleName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small, medium or large)\n", *scaleName)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	figs := flag.Args()
+	if len(figs) == 0 {
+		figs = experiments.Order
+	}
+	for _, name := range figs {
+		driver, ok := experiments.Registry[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; use -list to see the options\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s (scale %s, seed %d) ===\n", name, scale.Name, scale.Seed)
+		t0 := time.Now()
+		result, err := driver(os.Stdout, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, name, result); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing CSV: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("=== %s done in %v ===\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+// writeCSVs dumps the figure's measured series as convergence and cumulative
+// CSV files. Series with differing query counts (e.g. two datasets within one
+// figure) are grouped by length into separate files.
+func writeCSVs(dir, fig string, r *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	groups := make(map[int][]*bench.Series)
+	var order []int
+	for _, s := range r.Series {
+		n := len(s.PerQuery)
+		if _, ok := groups[n]; !ok {
+			order = append(order, n)
+		}
+		groups[n] = append(groups[n], s)
+	}
+	for gi, n := range order {
+		suffix := ""
+		if len(order) > 1 {
+			suffix = fmt.Sprintf("_part%d", gi+1)
+		}
+		for kind, writer := range map[string]func(f *os.File) error{
+			"convergence": func(f *os.File) error { return bench.WriteConvergenceCSV(f, groups[n]...) },
+			"cumulative":  func(f *os.File) error { return bench.WriteCumulativeCSV(f, groups[n]...) },
+		} {
+			path := filepath.Join(dir, fmt.Sprintf("%s_%s%s.csv", fig, kind, suffix))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := writer(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `quasii-bench — regenerate the QUASII paper's evaluation figures
+
+usage: quasii-bench [flags] [figure ...]
+
+Figures (default: all, in paper order):
+  fig6a      data-assignment impact: R-Tree vs Grid variants
+  fig6b      grid configuration sensitivity
+  fig7       convergence of incremental vs static approaches
+  fig8       cumulative time of incremental vs static approaches
+  fig9       comparative analysis of the incremental approaches
+  fig10      uniform workload convergence and cumulative time
+  fig11      scalability at two dataset sizes
+  fig12      query selectivity impact
+  gridsweep  the grid-resolution parameter sweep
+
+Flags:
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,206 @@
+// Command quasii-explore is an interactive demonstration of incremental
+// indexing: it loads (or generates) a dataset, then answers range queries
+// from stdin with QUASII while reporting how the index refines itself and
+// how its per-query latency converges toward a pre-built R-tree's.
+//
+// Usage:
+//
+//	quasii-explore [-kind uniform|neuro] [-n 200000] [-seed 1]
+//
+// Then type queries, one per line, as six numbers:
+//
+//	x0 y0 z0 x1 y1 z1
+//
+// Other commands: "auto N" runs N random queries, "knn x y z k" probes the
+// k nearest objects, "complete" finishes refinement eagerly, "chart" draws
+// the latency history, "stats" prints index statistics, "quit" exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "uniform", "dataset kind: uniform or neuro")
+	n := flag.Int("n", 200000, "number of objects")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	load := flag.String("load", "", "load a dataset file written by quasii-datagen instead of generating")
+	flag.Parse()
+
+	var data []geom.Object
+	if *load != "" {
+		var err error
+		data, err = dataset.ReadFile(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		*kind = *load
+	} else {
+		switch *kind {
+		case "uniform":
+			data = dataset.Uniform(*n, *seed)
+		case "neuro":
+			data = dataset.Neuro(*n, *seed, dataset.NeuroConfig{})
+		default:
+			fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("loaded %d %s objects; universe side %.0f\n", len(data), *kind, dataset.UniverseSide)
+	fmt.Print("building reference R-tree... ")
+	t0 := time.Now()
+	ref := rtree.New(data, rtree.Config{})
+	fmt.Printf("done in %v\n", time.Since(t0))
+	ix := core.New(dataset.Clone(data), core.Config{})
+	fmt.Println("QUASII ready instantly — it indexes as you query.")
+	fmt.Println(`commands: "x0 y0 z0 x1 y1 z1", "auto N", "knn x y z k", "complete", "chart", "stats", "quit"`)
+
+	var history *bench.Series = &bench.Series{Name: "QUASII"}
+	refHistory := &bench.Series{Name: "R-tree"}
+	sc := bufio.NewScanner(os.Stdin)
+	autoSeed := *seed + 1000
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "quit" || line == "exit":
+			if line != "" {
+				return
+			}
+		case line == "stats":
+			printStats(ix)
+		case line == "complete":
+			t0 := time.Now()
+			ix.Complete()
+			fmt.Printf("refinement completed in %v; %d slices\n", time.Since(t0), ix.NumSlices())
+		case line == "chart":
+			if len(history.PerQuery) < 2 {
+				fmt.Println("run some queries first")
+				continue
+			}
+			bench.Chart(os.Stdout, 64, 12, false, history, refHistory)
+		case strings.HasPrefix(line, "knn"):
+			runKNN(ix, ref, line)
+		case strings.HasPrefix(line, "auto"):
+			count := 10
+			if fields := strings.Fields(line); len(fields) > 1 {
+				if v, err := strconv.Atoi(fields[1]); err == nil && v > 0 {
+					count = v
+				}
+			}
+			autoSeed++
+			for i, q := range workload.Uniform(dataset.Universe(), count, 1e-3, autoSeed) {
+				runQuery(ix, ref, q, fmt.Sprintf("auto %d", i), history, refHistory)
+			}
+		default:
+			q, err := parseQuery(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			runQuery(ix, ref, q, "query", history, refHistory)
+		}
+	}
+}
+
+// runKNN parses "knn x y z k" and probes both indexes.
+func runKNN(ix *core.Index, ref *rtree.Tree, line string) {
+	fields := strings.Fields(line)
+	if len(fields) != 5 {
+		fmt.Println(`usage: knn x y z k`)
+		return
+	}
+	var vals [3]float64
+	for i := 0; i < 3; i++ {
+		v, err := strconv.ParseFloat(fields[i+1], 64)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		vals[i] = v
+	}
+	k, err := strconv.Atoi(fields[4])
+	if err != nil || k < 1 {
+		fmt.Println("error: k must be a positive integer")
+		return
+	}
+	p := geom.Point{vals[0], vals[1], vals[2]}
+	t0 := time.Now()
+	mine := ix.KNN(p, k)
+	mineTime := time.Since(t0)
+	t0 = time.Now()
+	theirs := ref.KNN(p, k)
+	theirsTime := time.Since(t0)
+	match := len(mine) == len(theirs)
+	for i := 0; match && i < len(mine); i++ {
+		if mine[i].DistSq != theirs[i].DistSq {
+			match = false
+		}
+	}
+	ids := make([]int32, len(mine))
+	for i, nb := range mine {
+		ids[i] = nb.ID
+	}
+	fmt.Printf("knn: %v — QUASII %v, R-tree %v, agree=%v\n", ids, mineTime, theirsTime, match)
+}
+
+func parseQuery(line string) (geom.Box, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 6 {
+		return geom.Box{}, fmt.Errorf("want 6 numbers, got %d", len(fields))
+	}
+	var vals [6]float64
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return geom.Box{}, fmt.Errorf("field %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	return geom.NewBox(
+		geom.Point{vals[0], vals[1], vals[2]},
+		geom.Point{vals[3], vals[4], vals[5]}), nil
+}
+
+func runQuery(ix *core.Index, ref *rtree.Tree, q geom.Box, label string, hist, refHist *bench.Series) {
+	t0 := time.Now()
+	got := ix.Query(q, nil)
+	quasiiTime := time.Since(t0)
+	t0 = time.Now()
+	want := ref.Query(q, nil)
+	rtreeTime := time.Since(t0)
+	hist.PerQuery = append(hist.PerQuery, quasiiTime)
+	hist.Counts = append(hist.Counts, len(got))
+	refHist.PerQuery = append(refHist.PerQuery, rtreeTime)
+	refHist.Counts = append(refHist.Counts, len(want))
+	status := "OK"
+	if len(got) != len(want) {
+		status = fmt.Sprintf("MISMATCH (r-tree found %d)", len(want))
+	}
+	fmt.Printf("%s: %d results — QUASII %v, R-tree %v [%s]\n",
+		label, len(got), quasiiTime, rtreeTime, status)
+}
+
+func printStats(ix *core.Index) {
+	st := ix.Stats()
+	fmt.Printf("queries %d, cracks %d, objects moved %d, slices %d (created %d), objects tested %d\n",
+		st.Queries, st.Cracks, st.CrackedObjects, ix.NumSlices(), st.SlicesCreated, st.ObjectsTested)
+}

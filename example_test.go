@@ -1,0 +1,73 @@
+package quasii_test
+
+import (
+	"fmt"
+
+	quasii "repro"
+)
+
+// The basic lifecycle: build in O(n), query, let the index refine itself.
+func ExampleNewQUASII() {
+	objects := []quasii.Object{
+		{Box: quasii.BoxAt(quasii.Point{5, 5, 5}, 2), ID: 1},
+		{Box: quasii.BoxAt(quasii.Point{50, 50, 50}, 2), ID: 2},
+		{Box: quasii.BoxAt(quasii.Point{8, 5, 5}, 2), ID: 3},
+	}
+	ix := quasii.NewQUASII(objects, quasii.QUASIIConfig{})
+	hits := ix.Query(quasii.NewBox(quasii.Point{0, 0, 0}, quasii.Point{10, 10, 10}), nil)
+	fmt.Println(len(hits), "objects intersect")
+	// Output: 2 objects intersect
+}
+
+// Every index implements the same Index interface, so baselines swap in
+// freely — here the STR bulk-loaded R-tree.
+func ExampleNewRTree() {
+	objects := []quasii.Object{
+		{Box: quasii.BoxAt(quasii.Point{1, 1, 1}, 1), ID: 10},
+		{Box: quasii.BoxAt(quasii.Point{9, 9, 9}, 1), ID: 20},
+	}
+	var ix quasii.Index = quasii.NewRTree(objects, quasii.RTreeConfig{})
+	fmt.Println(ix.Query(quasii.BoxAt(quasii.Point{1, 1, 1}, 3), nil))
+	// Output: [10]
+}
+
+// kNN on the R-tree uses best-first search over node boxes.
+func ExampleRTree_KNN() {
+	objects := []quasii.Object{
+		{Box: quasii.BoxAt(quasii.Point{1, 1, 1}, 1), ID: 10},
+		{Box: quasii.BoxAt(quasii.Point{5, 5, 5}, 1), ID: 20},
+		{Box: quasii.BoxAt(quasii.Point{9, 9, 9}, 1), ID: 30},
+	}
+	tr := quasii.NewRTree(objects, quasii.RTreeConfig{})
+	for _, nb := range tr.KNN(quasii.Point{0, 0, 0}, 2) {
+		fmt.Println(nb.ID)
+	}
+	// Output:
+	// 10
+	// 20
+}
+
+// QUASII accepts new objects after construction; they are visible
+// immediately and folded into the cracked array by Flush.
+func ExampleQUASII_Append() {
+	ix := quasii.NewQUASII([]quasii.Object{
+		{Box: quasii.BoxAt(quasii.Point{1, 1, 1}, 1), ID: 1},
+	}, quasii.QUASIIConfig{})
+	ix.Append(quasii.Object{Box: quasii.BoxAt(quasii.Point{2, 2, 2}, 1), ID: 2})
+	fmt.Println("len:", ix.Len(), "pending:", ix.Pending())
+	ix.Flush()
+	fmt.Println("len:", ix.Len(), "pending:", ix.Pending())
+	// Output:
+	// len: 2 pending: 1
+	// len: 2 pending: 0
+}
+
+// Synchronize makes any index safe for concurrent use (incremental indexes
+// mutate during Query, so this matters even for read-only workloads).
+func ExampleSynchronize() {
+	data := quasii.UniformDataset(100, 1)
+	ix := quasii.Synchronize(quasii.NewQUASII(data, quasii.QUASIIConfig{}))
+	n := len(ix.Query(quasii.Universe(), nil))
+	fmt.Println(n)
+	// Output: 100
+}

@@ -1,0 +1,43 @@
+// Quickstart: index a handful of boxes with QUASII and run range queries.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	quasii "repro"
+)
+
+func main() {
+	// A tiny scene: shelves of unit boxes along a diagonal, plus one large
+	// box overlapping several of them.
+	var objects []quasii.Object
+	for i := 0; i < 10; i++ {
+		c := float64(i*10 + 5)
+		objects = append(objects, quasii.Object{
+			Box: quasii.BoxAt(quasii.Point{c, c, c}, 2),
+			ID:  int32(i),
+		})
+	}
+	objects = append(objects, quasii.Object{
+		Box: quasii.NewBox(quasii.Point{0, 0, 0}, quasii.Point{30, 30, 30}),
+		ID:  100,
+	})
+
+	// Building QUASII is O(n): no sorting, no tree construction. The index
+	// organizes itself while you query. It takes ownership of the slice.
+	ix := quasii.NewQUASII(objects, quasii.QUASIIConfig{})
+
+	// A range query returns the IDs of all intersecting objects.
+	q := quasii.NewBox(quasii.Point{0, 0, 0}, quasii.Point{25, 25, 25})
+	fmt.Printf("query %v -> IDs %v\n", q, ix.Query(q, nil))
+
+	// Each query refines the index further; repeated or nearby queries get
+	// faster. Stats expose the work done so far.
+	q2 := quasii.NewBox(quasii.Point{40, 40, 40}, quasii.Point{80, 80, 80})
+	fmt.Printf("query %v -> IDs %v\n", q2, ix.Query(q2, nil))
+	st := ix.Stats()
+	fmt.Printf("after %d queries: %d cracks, %d slices created\n",
+		st.Queries, st.Cracks, st.SlicesCreated)
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// Chart renders measured series as a log-scale ASCII line chart, one glyph
+// per series — a terminal rendition of the paper's figures. Rows are time
+// buckets (log scale, largest on top); columns are queries, downsampled to
+// the given width.
+func Chart(w io.Writer, width, height int, cumulative bool, series ...*Series) {
+	if len(series) == 0 || width < 8 || height < 4 {
+		return
+	}
+	n := len(series[0].PerQuery)
+	if n == 0 {
+		return
+	}
+	if width > n {
+		width = n
+	}
+
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	values := make([][]float64, len(series))
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for si, s := range series {
+		var ds []time.Duration
+		if cumulative {
+			ds = s.Cumulative()
+		} else {
+			ds = s.PerQuery
+		}
+		if len(ds) != n {
+			return // mismatched series; charts need a shared x axis
+		}
+		values[si] = make([]float64, width)
+		for col := 0; col < width; col++ {
+			// Downsample by averaging each column's bucket.
+			lo := col * n / width
+			hi := (col + 1) * n / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, d := range ds[lo:hi] {
+				sum += float64(d.Nanoseconds())
+			}
+			v := sum / float64(hi-lo)
+			if v <= 0 {
+				v = 1
+			}
+			values[si][col] = v
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if minV <= 0 || math.IsInf(minV, 1) {
+		minV = 1
+	}
+	if maxV <= minV {
+		maxV = minV * 10
+	}
+	logMin, logMax := math.Log10(minV), math.Log10(maxV)
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si := range values {
+		g := glyphs[si%len(glyphs)]
+		for col, v := range values[si] {
+			frac := (math.Log10(v) - logMin) / (logMax - logMin)
+			row := height - 1 - int(frac*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = g
+		}
+	}
+
+	// Y-axis labels on three rows: top, middle, bottom.
+	label := func(frac float64) string {
+		v := math.Pow(10, logMin+frac*(logMax-logMin))
+		return fmtDur(time.Duration(v))
+	}
+	for r, row := range grid {
+		var lab string
+		switch r {
+		case 0:
+			lab = label(1)
+		case height / 2:
+			lab = label(0.5)
+		case height - 1:
+			lab = label(0)
+		}
+		fmt.Fprintf(w, "%10s |%s|\n", lab, row)
+	}
+	fmt.Fprintf(w, "%10s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%10s  query 0 .. %d\n", "", n-1)
+	legend := make([]string, len(series))
+	for si, s := range series {
+		legend[si] = fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Name)
+	}
+	fmt.Fprintf(w, "%10s  %s\n", "", strings.Join(legend, "  "))
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChartRendersAllSeries(t *testing.T) {
+	a := mkSeries("fast", 0, 10, 10, 10, 10, 10, 10, 10, 10)
+	b := mkSeries("slow", 0, 1000, 900, 800, 700, 600, 500, 400, 300)
+	var buf bytes.Buffer
+	Chart(&buf, 8, 6, false, a, b)
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("chart missing glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "fast") || !strings.Contains(out, "slow") {
+		t.Fatalf("chart missing legend:\n%s", out)
+	}
+	// The slow series must appear above the fast one: the first grid row
+	// containing 'o' precedes the first containing '*'.
+	lines := strings.Split(out, "\n")
+	firstO, firstStar := -1, -1
+	for i, line := range lines {
+		if firstO < 0 && strings.Contains(line, "o") && strings.Contains(line, "|") {
+			firstO = i
+		}
+		if firstStar < 0 && strings.Contains(line, "*") && strings.Contains(line, "|") {
+			firstStar = i
+		}
+	}
+	if firstO < 0 || firstStar < 0 || firstO >= firstStar {
+		t.Fatalf("series not vertically ordered (o at %d, * at %d):\n%s", firstO, firstStar, out)
+	}
+}
+
+func TestChartCumulativeMonotone(t *testing.T) {
+	a := mkSeries("x", 100, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5)
+	var buf bytes.Buffer
+	Chart(&buf, 10, 5, true, a)
+	if buf.Len() == 0 {
+		t.Fatal("no chart output")
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, 100, 10, false) // no series
+	empty := &Series{Name: "e"}
+	Chart(&buf, 100, 10, false, empty) // no queries
+	tiny := mkSeries("t", 0, 1)
+	Chart(&buf, 4, 2, false, tiny) // width/height too small
+	if buf.Len() != 0 {
+		t.Fatalf("degenerate inputs should render nothing, got:\n%s", buf.String())
+	}
+}
+
+func TestChartMismatchedSeriesSkipped(t *testing.T) {
+	a := mkSeries("a", 0, 1, 2, 3)
+	b := mkSeries("b", 0, 1, 2)
+	var buf bytes.Buffer
+	Chart(&buf, 8, 4, false, a, b)
+	if buf.Len() != 0 {
+		t.Fatal("mismatched series should render nothing")
+	}
+}
+
+func TestChartDownsamples(t *testing.T) {
+	per := make([]time.Duration, 1000)
+	for i := range per {
+		per[i] = time.Duration(i + 1)
+	}
+	s := &Series{Name: "big", PerQuery: per, Counts: make([]int, 1000)}
+	var buf bytes.Buffer
+	Chart(&buf, 40, 8, false, s)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	for _, line := range lines {
+		if len(line) > 60 {
+			t.Fatalf("line too wide (%d): %q", len(line), line)
+		}
+	}
+}

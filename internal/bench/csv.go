@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteConvergenceCSV writes one row per query with the per-query latency of
+// every series in nanoseconds — the raw data behind the paper's convergence
+// plots, ready for any plotting tool.
+func WriteConvergenceCSV(w io.Writer, series ...*Series) error {
+	return writeCSV(w, false, series...)
+}
+
+// WriteCumulativeCSV writes one row per query with the cumulative execution
+// time (build included) of every series in nanoseconds.
+func WriteCumulativeCSV(w io.Writer, series ...*Series) error {
+	return writeCSV(w, true, series...)
+}
+
+func writeCSV(w io.Writer, cumulative bool, series ...*Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "query")
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	cols := make([][]int64, len(series))
+	n := len(series[0].PerQuery)
+	for i, s := range series {
+		if len(s.PerQuery) != n {
+			return fmt.Errorf("series %q has %d queries, %q has %d",
+				s.Name, len(s.PerQuery), series[0].Name, n)
+		}
+		cols[i] = make([]int64, n)
+		if cumulative {
+			for j, d := range s.Cumulative() {
+				cols[i][j] = d.Nanoseconds()
+			}
+		} else {
+			for j, d := range s.PerQuery {
+				cols[i][j] = d.Nanoseconds()
+			}
+		}
+	}
+	row := make([]string, len(series)+1)
+	for j := 0; j < n; j++ {
+		row[0] = strconv.Itoa(j)
+		for i := range cols {
+			row[i+1] = strconv.FormatInt(cols[i][j], 10)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

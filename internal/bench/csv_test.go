@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteConvergenceCSV(t *testing.T) {
+	a := mkSeries("alpha", 5, 10, 20, 30)
+	b := mkSeries("beta", 0, 15, 25, 35)
+	var buf bytes.Buffer
+	if err := WriteConvergenceCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("rows = %d, want 4 (header + 3)", len(records))
+	}
+	if records[0][0] != "query" || records[0][1] != "alpha" || records[0][2] != "beta" {
+		t.Fatalf("header = %v", records[0])
+	}
+	if records[1][1] != "10" || records[1][2] != "15" {
+		t.Fatalf("row 1 = %v", records[1])
+	}
+	if records[3][1] != "30" || records[3][2] != "35" {
+		t.Fatalf("row 3 = %v", records[3])
+	}
+}
+
+func TestWriteCumulativeCSVIncludesBuild(t *testing.T) {
+	a := mkSeries("alpha", 100, 1, 2, 3)
+	var buf bytes.Buffer
+	if err := WriteCumulativeCSV(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"101", "103", "106"}
+	for i, w := range want {
+		if records[i+1][1] != w {
+			t.Fatalf("row %d = %v, want %s", i+1, records[i+1], w)
+		}
+	}
+}
+
+func TestWriteCSVLengthMismatch(t *testing.T) {
+	a := mkSeries("a", 0, 1, 2)
+	b := mkSeries("b", 0, 1)
+	var buf bytes.Buffer
+	if err := WriteConvergenceCSV(&buf, a, b); err == nil ||
+		!strings.Contains(err.Error(), "queries") {
+		t.Fatalf("expected length-mismatch error, got %v", err)
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteConvergenceCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("expected no output, got %q", buf.String())
+	}
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// RunRepeated measures reps independent runs of the same build+workload and
+// returns the median series: for every query (and for the build step) the
+// median latency across runs. Medians suppress the scheduler and allocator
+// noise that single runs of micro-scale experiments pick up, at reps× cost.
+//
+// The result's Counts come from the first run; all runs are validated to
+// agree with it (an inconsistent index would invalidate the measurement).
+func RunRepeated(name string, reps int, build func() QueryIndex, queries []geom.Box) (*Series, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	runs := make([]*Series, reps)
+	for r := 0; r < reps; r++ {
+		runs[r] = Run(name, build, queries)
+	}
+	if err := ValidateCounts(runs...); err != nil {
+		return nil, err
+	}
+	if reps == 1 {
+		return runs[0], nil
+	}
+	out := &Series{
+		Name:     name,
+		PerQuery: make([]time.Duration, len(queries)),
+		Counts:   runs[0].Counts,
+	}
+	builds := make([]time.Duration, reps)
+	for r := range runs {
+		builds[r] = runs[r].Build
+	}
+	out.Build = median(builds)
+	col := make([]time.Duration, reps)
+	for qi := range queries {
+		for r := range runs {
+			col[r] = runs[r].PerQuery[qi]
+		}
+		out.PerQuery[qi] = median(col)
+	}
+	return out, nil
+}
+
+// median returns the median of ds (mean of the middle two for even lengths).
+// It sorts a copy.
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/scan"
+	"repro/internal/workload"
+)
+
+func ds(vals ...int) []time.Duration {
+	out := make([]time.Duration, len(vals))
+	for i, v := range vals {
+		out[i] = time.Duration(v)
+	}
+	return out
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		in   []time.Duration
+		want time.Duration
+	}{
+		{nil, 0},
+		{ds(5), 5},
+		{ds(1, 9), 5},
+		{ds(9, 1, 5), 5},
+		{ds(4, 1, 3, 2), 2}, // (2+3)/2
+	}
+	for _, tt := range tests {
+		if got := median(tt.in); got != tt.want {
+			t.Errorf("median(%v) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+	// Input must not be mutated.
+	in := ds(3, 1, 2)
+	median(in)
+	if in[0] != 3 {
+		t.Error("median mutated its input")
+	}
+}
+
+func TestRunRepeatedShape(t *testing.T) {
+	data := dataset.Uniform(1000, 801)
+	queries := workload.Uniform(dataset.Universe(), 10, 1e-2, 802)
+	s, err := RunRepeated("scan", 3, func() QueryIndex { return scan.New(data) }, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.PerQuery) != 10 || len(s.Counts) != 10 {
+		t.Fatalf("series shape wrong: %d queries, %d counts", len(s.PerQuery), len(s.Counts))
+	}
+	if s.Name != "scan" {
+		t.Errorf("Name = %q", s.Name)
+	}
+}
+
+func TestRunRepeatedSingleRep(t *testing.T) {
+	data := dataset.Uniform(500, 803)
+	queries := workload.Uniform(dataset.Universe(), 5, 1e-2, 804)
+	s, err := RunRepeated("scan", 0, func() QueryIndex { return scan.New(data) }, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.PerQuery) != 5 {
+		t.Fatalf("got %d queries", len(s.PerQuery))
+	}
+}
+
+// flakyIndex drops one result per query when drop is set, to exercise the
+// cross-run validation of RunRepeated.
+type flakyIndex struct {
+	drop bool
+	s    *scan.Index
+}
+
+func (f *flakyIndex) Query(q geom.Box, out []int32) []int32 {
+	out = f.s.Query(q, out)
+	if f.drop && len(out) > 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+func TestRunRepeatedDetectsInconsistentRuns(t *testing.T) {
+	data := dataset.Uniform(500, 805)
+	queries := workload.Uniform(dataset.Universe(), 5, 1e-1, 806)
+	builds := 0
+	_, err := RunRepeated("flaky", 2, func() QueryIndex {
+		builds++
+		return &flakyIndex{drop: builds > 1, s: scan.New(data)}
+	}, queries)
+	if err == nil {
+		t.Fatal("inconsistent runs accepted")
+	}
+}

@@ -1,0 +1,724 @@
+// Package core implements QUASII, the QUery-Aware Spatial Incremental Index
+// of Pavlovic et al. (EDBT 2018).
+//
+// QUASII indexes 3-d boxes in main memory as a side effect of range-query
+// execution. The data array is cracked (partially partitioned in place) on the
+// bounds of each incoming query, one dimension at a time: a query first slices
+// the array on x, then slices the matching x-slice on y, then on z. The
+// resulting slices form a d-level hierarchy (one level per dimension) that is
+// refined further by every subsequent query. Slices that grow small enough
+// (below the per-level threshold τ) are final and carry an exact minimum
+// bounding box; larger slices carry an open-ended box bounded only in the
+// dimensions already sliced.
+//
+// Objects are assigned to slices by a single representative coordinate (the
+// paper uses the lower corner). Because a volumetric object can overhang its
+// slice, refinement cracks on a query range extended by the maximum object
+// extent, and the search over sibling slices is extended by the maximum slice
+// extent — the "query extension" technique of Stefanakis et al.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// AssignMode selects the representative coordinate used to assign an object
+// to a slice.
+type AssignMode int
+
+const (
+	// AssignLower assigns by the object's lower corner (the paper's choice:
+	// free, since it is part of the stored MBB).
+	AssignLower AssignMode = iota
+	// AssignCenter assigns by the object's center. Kept as an ablation; it
+	// requires a symmetric half-extent query extension.
+	AssignCenter
+	// AssignUpper assigns by the object's upper corner — the paper's
+	// footnote notes it "can equally be used". It mirrors AssignLower: the
+	// query extension moves to the upper side.
+	AssignUpper
+)
+
+// Config controls QUASII's behaviour. The zero value is usable: it selects
+// the paper's defaults (τ = 60, lower-coordinate assignment, artificial
+// refinement enabled).
+type Config struct {
+	// Tau is the maximum number of objects in a fully refined slice at the
+	// finest (z) level. The paper uses 60. Values < 1 mean 60.
+	Tau int
+	// Assign selects the representative coordinate for slice assignment.
+	Assign AssignMode
+	// DisableArtificial turns off artificial (midpoint) refinement. Only the
+	// query bounds then crack the data; slices may stay arbitrarily large.
+	// This exists purely for the ablation benchmarks — the paper argues the
+	// hierarchy degenerates without it.
+	DisableArtificial bool
+	// Stochastic adds a random pre-cut when refining large slices, the
+	// stochastic-cracking defence (Halim et al., VLDB 2012) against
+	// sequential workloads that otherwise re-scan an ever-shrinking
+	// unrefined tail on every query.
+	Stochastic bool
+	// Seed drives the deterministic RNG behind Stochastic. 0 means 1.
+	Seed int64
+}
+
+// DefaultTau is the leaf-slice capacity used by the paper's evaluation.
+const DefaultTau = 60
+
+// Stats counts the work performed by the index since Build. All counters are
+// cumulative and monotone; they exist to explain convergence behaviour.
+type Stats struct {
+	Queries        int   // queries executed
+	Cracks         int   // two-way partition passes over some sub-array
+	CrackedObjects int64 // total objects moved across all crack passes (upper bound: elements scanned)
+	SlicesCreated  int   // slices materialized (all levels)
+	ObjectsTested  int64 // objects tested for final intersection
+	ResultObjects  int64 // objects reported
+}
+
+// slice is one node of QUASII's hierarchy. It covers data[lo:hi) and lives at
+// one level (0 = x, 1 = y, 2 = z). Children, if any, partition [lo,hi) at the
+// next level and are sorted by lo.
+type slice struct {
+	level    int
+	lo, hi   int
+	box      geom.Box // exact MBB once refined; open-ended before
+	children *sliceList
+	refined  bool // size() <= tau[level] and box is the exact MBB
+}
+
+func (s *slice) size() int { return s.hi - s.lo }
+
+// sliceList is an ordered list of sibling slices plus the bookkeeping needed
+// to search it: the maximum box extent (in the level's dimension) among its
+// members. The maximum is maintained monotonically — removing a wide slice
+// does not shrink it — which is conservative but always correct.
+type sliceList struct {
+	slices []*slice
+	maxExt float64
+}
+
+func (l *sliceList) noteExtent(s *slice, dim int) {
+	if e := s.box.Max[dim] - s.box.Min[dim]; e > l.maxExt && !math.IsInf(e, 1) {
+		l.maxExt = e
+	} else if math.IsInf(e, 1) {
+		// An open-ended slice can reach anywhere; fall back to scanning from
+		// the start of the list when searching.
+		l.maxExt = math.Inf(1)
+	}
+}
+
+// Index is a QUASII index over a data array it owns and reorganizes in place.
+type Index struct {
+	cfg     Config
+	data    []geom.Object
+	pending []geom.Object      // appended objects not yet indexed (see Append)
+	deleted map[int32]struct{} // tombstoned IDs awaiting compaction (see Delete)
+	root    *sliceList
+	tau     [geom.Dims]int
+	maxExt  geom.Point // max object extent per dimension (for query extension)
+	dataMBB geom.Box   // bounding box of all data (for KNN sizing)
+	rng     *rand.Rand // deterministic source for stochastic refinement
+	stats   Stats
+}
+
+// New builds a QUASII index over data. The index takes ownership of the
+// slice: queries reorganize it in place. Building is O(n) — it only computes
+// the per-dimension maximum extents and the τ thresholds; all indexing work
+// happens during queries.
+func New(data []geom.Object, cfg Config) *Index {
+	if cfg.Tau < 1 {
+		cfg.Tau = DefaultTau
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	ix := &Index{cfg: cfg, data: data, rng: rand.New(rand.NewSource(cfg.Seed))}
+	ix.maxExt = geom.MaxExtents(data)
+	ix.dataMBB = geom.MBB(data)
+	ix.computeTaus()
+	initial := &slice{level: 0, lo: 0, hi: len(data), box: geom.UniverseBox()}
+	ix.root = &sliceList{slices: []*slice{initial}, maxExt: math.Inf(1)}
+	if len(data) == 0 {
+		ix.root = &sliceList{}
+	}
+	ix.stats.SlicesCreated = len(ix.root.slices)
+	return ix
+}
+
+// computeTaus derives per-level thresholds from the bottom-level capacity:
+// r = ceil((n/τ)^(1/d)), τ_{l-1} = r·τ_l (paper, Eq. 1).
+func (ix *Index) computeTaus() {
+	tau := ix.cfg.Tau
+	n := len(ix.data)
+	parts := float64(n) / float64(tau)
+	if parts < 1 {
+		parts = 1
+	}
+	r := int(math.Ceil(math.Cbrt(parts)))
+	if r < 1 {
+		r = 1
+	}
+	ix.tau[geom.Dims-1] = tau
+	for l := geom.Dims - 2; l >= 0; l-- {
+		ix.tau[l] = ix.tau[l+1] * r
+	}
+}
+
+// Len returns the number of live objects: indexed plus appended, minus
+// tombstoned ones.
+func (ix *Index) Len() int { return len(ix.data) + len(ix.pending) - len(ix.deleted) }
+
+// Stats returns a snapshot of the cumulative work counters.
+func (ix *Index) Stats() Stats { return ix.stats }
+
+// Tau returns the refinement threshold at the given level (0 = x).
+func (ix *Index) Tau(level int) int { return ix.tau[level] }
+
+// key returns the representative coordinate of an object in dimension d.
+func (ix *Index) key(o *geom.Object, d int) float64 {
+	switch ix.cfg.Assign {
+	case AssignCenter:
+		return (o.Min[d] + o.Max[d]) / 2
+	case AssignUpper:
+		return o.Max[d]
+	default:
+		return o.Min[d]
+	}
+}
+
+// extendLo and extendHi return how far the query's lower/upper bound must be
+// relaxed in dimension d so that the representative coordinates of all
+// intersecting objects fall inside the extended range.
+func (ix *Index) extendLo(d int) float64 {
+	switch ix.cfg.Assign {
+	case AssignCenter:
+		return ix.maxExt[d] / 2
+	case AssignUpper:
+		return 0 // upper(o) >= ql whenever o intersects q
+	default:
+		return ix.maxExt[d]
+	}
+}
+
+func (ix *Index) extendHi(d int) float64 {
+	switch ix.cfg.Assign {
+	case AssignCenter:
+		return ix.maxExt[d] / 2
+	case AssignUpper:
+		return ix.maxExt[d]
+	default:
+		return 0 // lower-coordinate assignment: lower(o) <= qu whenever o intersects q
+	}
+}
+
+// Query returns the IDs of all objects whose boxes intersect q, appending
+// them to out. As a side effect it refines the index around q.
+func (ix *Index) Query(q geom.Box, out []int32) []int32 {
+	start := len(out)
+	out = ix.queryPositions(q, out)
+	// The traversal collects array positions (valid for the whole call:
+	// refinement only reorders ranges not yet scanned); translate to IDs,
+	// filtering tombstoned objects.
+	w := start
+	for i := start; i < len(out); i++ {
+		id := ix.data[out[i]].ID
+		if _, dead := ix.deleted[id]; dead {
+			continue
+		}
+		out[w] = id
+		w++
+	}
+	out = out[:w]
+	// Appended objects are unindexed until Flush; scan them linearly.
+	if !q.IsEmpty() {
+		for i := range ix.pending {
+			if ix.pending[i].Intersects(q) {
+				out = append(out, ix.pending[i].ID)
+			}
+		}
+	}
+	return out
+}
+
+// queryPositions is Query's engine: it appends the data-array positions of
+// matching objects instead of their IDs (used by KNN to reach the boxes).
+func (ix *Index) queryPositions(q geom.Box, out []int32) []int32 {
+	ix.stats.Queries++
+	if len(ix.data) == 0 || q.IsEmpty() {
+		return out
+	}
+	return ix.queryList(q, ix.root, 0, out)
+}
+
+// Count returns the number of objects intersecting q (refining the index as
+// a side effect, exactly like Query).
+func (ix *Index) Count(q geom.Box) int {
+	// Reuse Query through a small buffer to keep one code path.
+	res := ix.Query(q, nil)
+	return len(res)
+}
+
+// queryList implements Algorithm 1 of the paper on one sibling list.
+func (ix *Index) queryList(q geom.Box, list *sliceList, dim int, out []int32) []int32 {
+	// Binary search for the first slice that could overlap q in this
+	// dimension, extending the search key by the maximum slice extent.
+	// Sibling boxes' Min is monotone only under lower-corner assignment
+	// (bands partition the representative coordinate, and Min *is* the
+	// representative there); the ablation modes scan the whole list and rely
+	// on the per-slice box test.
+	fastPath := ix.cfg.Assign == AssignLower && !math.IsInf(list.maxExt, 1)
+	var i int
+	if fastPath {
+		searchKey := q.Min[dim] - list.maxExt
+		i = sort.Search(len(list.slices), func(k int) bool {
+			return list.slices[k].box.Min[dim] >= searchKey
+		})
+	}
+
+	// Replacements produced by refinement: original index -> new slices.
+	var replaced map[int][]*slice
+
+	for ; i < len(list.slices); i++ {
+		s := list.slices[i]
+		if fastPath && s.box.Min[dim] > q.Max[dim] {
+			break
+		}
+		if !s.box.Intersects(q) {
+			continue
+		}
+		refinedSlices := ix.refine(s, q)
+		for _, t := range refinedSlices {
+			if !t.box.Intersects(q) {
+				continue
+			}
+			if dim == geom.Dims-1 {
+				out = ix.scanSlice(t, q, out)
+			} else {
+				if t.children == nil {
+					ix.createDefaultChild(t)
+				}
+				out = ix.queryList(q, t.children, dim+1, out)
+			}
+		}
+		if len(refinedSlices) != 1 || refinedSlices[0] != s {
+			if replaced == nil {
+				replaced = make(map[int][]*slice)
+			}
+			replaced[i] = refinedSlices
+		}
+	}
+
+	if replaced != nil {
+		ix.splice(list, replaced, dim)
+	}
+	return out
+}
+
+// scanSlice tests every object of a bottom-level slice against q.
+func (ix *Index) scanSlice(s *slice, q geom.Box, out []int32) []int32 {
+	ix.stats.ObjectsTested += int64(s.size())
+	for j := s.lo; j < s.hi; j++ {
+		if ix.data[j].Intersects(q) {
+			out = append(out, int32(j))
+		}
+	}
+	ix.stats.ResultObjects += int64(len(out))
+	return out
+}
+
+// createDefaultChild gives a refined slice a single child covering its whole
+// range at the next level, to be refined by subsequent processing.
+func (ix *Index) createDefaultChild(s *slice) {
+	child := &slice{level: s.level + 1, lo: s.lo, hi: s.hi, box: s.box}
+	// The parent's box is a valid (possibly loose) bound for the child. The
+	// child is final only if it already meets its own level's threshold.
+	child.refined = s.refined && child.size() <= ix.tau[child.level]
+	s.children = &sliceList{slices: []*slice{child}}
+	s.children.noteExtent(child, child.level)
+	ix.stats.SlicesCreated++
+}
+
+// splice replaces refined entries of list with their replacements, keeping
+// the list sorted by lo. Replacement slices occupy exactly the replaced
+// slice's [lo,hi) range and are sorted, so order is preserved without a full
+// sort (the paper re-sorts; splicing is the equivalent O(n) merge).
+func (ix *Index) splice(list *sliceList, replaced map[int][]*slice, dim int) {
+	grown := 0
+	for _, r := range replaced {
+		grown += len(r) - 1
+	}
+	out := make([]*slice, 0, len(list.slices)+grown)
+	for i, s := range list.slices {
+		if r, ok := replaced[i]; ok {
+			out = append(out, r...)
+			continue
+		}
+		out = append(out, s)
+	}
+	list.slices = out
+	// Recompute the max slice extent from scratch: replacing a wide slice
+	// with narrow fragments should shrink the search extension, and the
+	// initial slice's infinite extent must not stick around.
+	list.maxExt = 0
+	for _, s := range out {
+		list.noteExtent(s, dim)
+	}
+}
+
+// refine implements Algorithm 2: slice s is cracked on the (extended) query
+// bounds in its dimension, and resulting fragments that still exceed τ and
+// overlap the query are split artificially until they meet the threshold.
+// It returns the slices replacing s, sorted by lo; a slice already meeting
+// its threshold is returned unchanged (after finalization).
+func (ix *Index) refine(s *slice, q geom.Box) []*slice {
+	dim := s.level
+	if s.size() <= ix.tau[dim] {
+		ix.finalize(s)
+		return []*slice{s}
+	}
+
+	// Extended crack bounds: every object intersecting q has its
+	// representative coordinate within [lo, hi].
+	lo := q.Min[dim] - ix.extendLo(dim)
+	hi := q.Max[dim] + ix.extendHi(dim)
+	// Make the middle band inclusive of hi, matching the paper's [xl, xu].
+	hiExcl := math.Nextafter(hi, math.Inf(1))
+
+	// Slice bounds in dim: use the recorded box when finite (exact for
+	// fragments created by cracking); scan only for the initial open slice.
+	// The recorded Max is the max upper coordinate, which over-approximates
+	// the representative-coordinate range — the worst case is a crack pass
+	// that yields an empty band, which makeFragments drops.
+	sMin, sMax := s.box.Min[dim], s.box.Max[dim]
+	if math.IsInf(sMin, -1) || math.IsInf(sMax, 1) {
+		sMin, sMax = ix.lowerRange(s, dim)
+	}
+
+	// Stochastic cracking: pre-cut large slices at a random coordinate so a
+	// sequential sweep cannot keep every query cracking the same shrinking
+	// tail. Each half is then refined normally (recursing only into halves
+	// the query touches).
+	if ix.cfg.Stochastic && s.size() > 2*ix.tau[dim] && sMax > sMin {
+		cut := ix.stochasticCut(sMin, sMax)
+		if halves := ix.crackTwo(s, dim, cut); len(halves) == 2 {
+			result := make([]*slice, 0, 4)
+			for _, h := range halves {
+				if h.size() > ix.tau[dim] && h.box.Max[dim] >= lo && h.box.Min[dim] <= hi {
+					result = append(result, ix.refine(h, q)...)
+				} else {
+					if h.size() <= ix.tau[dim] {
+						ix.finalize(h)
+					}
+					result = append(result, h)
+				}
+			}
+			return result
+		} else if len(halves) == 1 {
+			// Degenerate cut; continue refining the (rebounded) survivor.
+			s = halves[0]
+			sMin, sMax = s.box.Min[dim], s.box.Max[dim]
+			if s.size() <= ix.tau[dim] {
+				ix.finalize(s)
+				return []*slice{s}
+			}
+		}
+	}
+
+	var bands []*slice
+	switch {
+	case lo > sMin && hi < sMax: // both bounds interior: three-way
+		bands = ix.crackThree(s, dim, lo, hiExcl)
+	case lo > sMin: // only the lower bound interior: two-way at lo
+		bands = ix.crackTwo(s, dim, lo)
+	case hi < sMax: // only the upper bound interior: two-way just past hi
+		bands = ix.crackTwo(s, dim, hiExcl)
+	default: // query contains the slice: artificial midpoint split
+		bands = ix.crackTwo(s, dim, artificialCut(sMin, sMax))
+	}
+
+	// Artificial refinement: fragments that still exceed τ and overlap the
+	// extended query range are split at midpoints until they comply.
+	result := make([]*slice, 0, len(bands)+2)
+	for _, b := range bands {
+		if !ix.cfg.DisableArtificial &&
+			b.size() > ix.tau[dim] &&
+			b.box.Max[dim] >= lo && b.box.Min[dim] <= hi {
+			result = ix.artificial(b, dim, lo, hi, result)
+		} else {
+			result = append(result, b)
+		}
+	}
+	return result
+}
+
+// artificial recursively splits slice b at the midpoint of its representative
+// coordinate range until every query-overlapping fragment meets τ, appending
+// the fragments to out in lo order.
+func (ix *Index) artificial(b *slice, dim int, qlo, qhi float64, out []*slice) []*slice {
+	if b.size() <= ix.tau[dim] {
+		ix.finalize(b)
+		return append(out, b)
+	}
+	bMin, bMax := ix.lowerRange(b, dim)
+	if bMax <= bMin {
+		// All representative coordinates coincide: the slice cannot be split
+		// spatially. Accept it as final (degenerate duplicate-heavy data).
+		ix.finalize(b)
+		return append(out, b)
+	}
+	cut := artificialCut(bMin, bMax)
+	halves := ix.crackTwo(b, dim, cut)
+	for _, h := range halves {
+		if h.size() > ix.tau[dim] && h.box.Max[dim] >= qlo && h.box.Min[dim] <= qhi {
+			out = ix.artificial(h, dim, qlo, qhi, out)
+		} else {
+			if h.size() <= ix.tau[dim] {
+				ix.finalize(h)
+			}
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// artificialCut picks the midpoint split coordinate for range (lo, hi). The
+// paper floors the midpoint; we keep the untruncated midpoint since the data
+// domain is continuous, guarding against a cut equal to lo (which would make
+// no progress on pathological ranges).
+func artificialCut(lo, hi float64) float64 {
+	c := (lo + hi) / 2
+	if c <= lo {
+		c = math.Nextafter(lo, math.Inf(1))
+	}
+	return c
+}
+
+// bounds tracks the exact extent of a band in the cracked dimension: the
+// minimum lower coordinate and the maximum upper coordinate of its objects.
+type bounds struct {
+	min, max float64
+}
+
+func newBounds() bounds { return bounds{min: math.Inf(1), max: math.Inf(-1)} }
+
+func (b *bounds) add(o *geom.Object, dim int) {
+	if v := o.Min[dim]; v < b.min {
+		b.min = v
+	}
+	if v := o.Max[dim]; v > b.max {
+		b.max = v
+	}
+}
+
+// crackThree partitions s into up to three non-empty fragments around
+// [low, highExcl) of the representative coordinate. Fragment boxes carry the
+// exact extent in the cracked dimension and stay open in the others.
+func (ix *Index) crackThree(s *slice, dim int, low, highExcl float64) []*slice {
+	m1, lb, _ := ix.partition(s.lo, s.hi, dim, low)
+	m2, mb, rb := ix.partition(m1, s.hi, dim, highExcl)
+	return ix.makeFragments(s, dim,
+		[]int{s.lo, m1, m2, s.hi}, []bounds{lb, mb, rb})
+}
+
+// crackTwo partitions s into up to two non-empty fragments at pivot.
+func (ix *Index) crackTwo(s *slice, dim int, pivot float64) []*slice {
+	m, lb, rb := ix.partition(s.lo, s.hi, dim, pivot)
+	return ix.makeFragments(s, dim, []int{s.lo, m, s.hi}, []bounds{lb, rb})
+}
+
+// partition is the cracking kernel: it reorders data[lo:hi) so objects with
+// representative coordinate < pivot precede the rest, returning the split
+// position together with the exact bounds of both bands in dim. Bounds are
+// tracked in the same pass — each element's final side is known either when
+// a scan pointer passes it or when it is swapped.
+func (ix *Index) partition(lo, hi int, dim int, pivot float64) (mid int, left, right bounds) {
+	ix.stats.Cracks++
+	ix.stats.CrackedObjects += int64(hi - lo)
+	data := ix.data
+	left, right = newBounds(), newBounds()
+	if ix.cfg.Assign != AssignLower {
+		// Generic path for the ablation assignment modes.
+		i, j := lo, hi-1
+		for i <= j {
+			for i <= j && ix.key(&data[i], dim) < pivot {
+				left.add(&data[i], dim)
+				i++
+			}
+			for i <= j && ix.key(&data[j], dim) >= pivot {
+				right.add(&data[j], dim)
+				j--
+			}
+			if i < j {
+				data[i], data[j] = data[j], data[i]
+				left.add(&data[i], dim)
+				right.add(&data[j], dim)
+				i++
+				j--
+			}
+		}
+		return i, left, right
+	}
+	i, j := lo, hi-1
+	for i <= j {
+		for i <= j && data[i].Min[dim] < pivot {
+			left.add(&data[i], dim)
+			i++
+		}
+		for i <= j && data[j].Min[dim] >= pivot {
+			right.add(&data[j], dim)
+			j--
+		}
+		if i < j {
+			data[i], data[j] = data[j], data[i]
+			left.add(&data[i], dim)
+			right.add(&data[j], dim)
+			i++
+			j--
+		}
+	}
+	return i, left, right
+}
+
+// makeFragments materializes the non-empty fragments delimited by cuts
+// (cuts[0] == s.lo, cuts[len-1] == s.hi) with the matching per-band bounds.
+// Each fragment inherits s's box in the dimensions not yet sliced and gets
+// exact bounds in dim; fragments small enough are finalized with a full MBB.
+func (ix *Index) makeFragments(s *slice, dim int, cuts []int, bds []bounds) []*slice {
+	frags := make([]*slice, 0, len(cuts)-1)
+	for k := 0; k+1 < len(cuts); k++ {
+		lo, hi := cuts[k], cuts[k+1]
+		if lo >= hi {
+			continue
+		}
+		f := &slice{level: dim, lo: lo, hi: hi, box: s.box}
+		f.box.Min[dim] = bds[k].min
+		f.box.Max[dim] = bds[k].max
+		if f.size() <= ix.tau[dim] {
+			ix.finalize(f)
+		}
+		frags = append(frags, f)
+		ix.stats.SlicesCreated++
+	}
+	return frags
+}
+
+// finalize marks s as fully refined in its dimension and computes its exact
+// MBB (the paper computes full MBBs only for completely refined slices).
+func (ix *Index) finalize(s *slice) {
+	if s.refined {
+		return
+	}
+	s.box = geom.MBB(ix.data[s.lo:s.hi])
+	s.refined = true
+}
+
+// --- Introspection and invariant checking (used by tests and tools) ---
+
+// Depth returns the number of hierarchy levels (== geom.Dims).
+func (ix *Index) Depth() int { return geom.Dims }
+
+// NumSlices returns the total number of slices currently materialized.
+func (ix *Index) NumSlices() int {
+	var n int
+	var walk func(l *sliceList)
+	walk = func(l *sliceList) {
+		for _, s := range l.slices {
+			n++
+			if s.children != nil {
+				walk(s.children)
+			}
+		}
+	}
+	if ix.root != nil {
+		walk(ix.root)
+	}
+	return n
+}
+
+// CheckInvariants validates the structural invariants of the index:
+//
+//  1. sibling slices are sorted by lo and partition their parent's range,
+//  2. children cover exactly their parent's [lo,hi),
+//  3. refined slices respect τ (except degenerate duplicate-coordinate
+//     slices) and their box contains all their objects,
+//  4. every slice's box, where finite, bounds its objects' extents in the
+//     already-sliced dimension.
+//
+// It returns an error describing the first violation found.
+func (ix *Index) CheckInvariants() error {
+	if ix.root == nil {
+		return nil
+	}
+	return ix.checkList(ix.root, 0, len(ix.data), 0)
+}
+
+func (ix *Index) checkList(l *sliceList, lo, hi, level int) error {
+	if len(l.slices) == 0 {
+		if lo != hi {
+			return fmt.Errorf("level %d: empty slice list for non-empty range [%d,%d)", level, lo, hi)
+		}
+		return nil
+	}
+	pos := lo
+	for k, s := range l.slices {
+		if s.level != level {
+			return fmt.Errorf("slice %d at level %d, want %d", k, s.level, level)
+		}
+		if s.lo != pos {
+			return fmt.Errorf("level %d: slice %d starts at %d, want %d (gap/overlap)", level, k, s.lo, pos)
+		}
+		if s.hi < s.lo {
+			return fmt.Errorf("level %d: slice %d has inverted range [%d,%d)", level, k, s.lo, s.hi)
+		}
+		pos = s.hi
+		if s.refined {
+			mbb := geom.MBB(ix.data[s.lo:s.hi])
+			if !s.box.Contains(mbb) && s.size() > 0 {
+				return fmt.Errorf("level %d: refined slice %d box %v does not contain objects MBB %v", level, k, s.box, mbb)
+			}
+		}
+		// Exact-dimension bound check: finite bounds must cover objects.
+		for j := s.lo; j < s.hi; j++ {
+			if !math.IsInf(s.box.Min[level], -1) && ix.data[j].Min[level] < s.box.Min[level]-1e-9 {
+				return fmt.Errorf("level %d: slice %d lower bound %g violated by object %d (%g)",
+					level, k, s.box.Min[level], j, ix.data[j].Min[level])
+			}
+			if !math.IsInf(s.box.Max[level], 1) && ix.data[j].Max[level] > s.box.Max[level]+1e-9 {
+				return fmt.Errorf("level %d: slice %d upper bound %g violated by object %d (%g)",
+					level, k, s.box.Max[level], j, ix.data[j].Max[level])
+			}
+		}
+		if s.children != nil {
+			if err := ix.checkList(s.children, s.lo, s.hi, level+1); err != nil {
+				return err
+			}
+		}
+	}
+	if pos != hi {
+		return fmt.Errorf("level %d: slices end at %d, want %d", level, pos, hi)
+	}
+	return nil
+}
+
+// lowerRange returns the min and max representative coordinate of s's objects
+// in dimension dim. It prefers the slice's recorded bounds when finite and
+// falls back to a scan (used before a slice has exact bounds in dim).
+func (ix *Index) lowerRange(s *slice, dim int) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for j := s.lo; j < s.hi; j++ {
+		v := ix.key(&ix.data[j], dim)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

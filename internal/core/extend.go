@@ -1,0 +1,157 @@
+// Extensions beyond the paper's core algorithm, each motivated by its text:
+//
+//   - stochastic refinement (Config.Stochastic): the paper builds on database
+//     cracking and cites stochastic cracking (Halim et al., VLDB 2012), which
+//     fixes cracking's pathological behaviour under sequential workloads by
+//     adding random cuts. The same idea applies per dimension here.
+//   - Complete: finish refinement eagerly (e.g. in idle time), turning the
+//     adaptive index into its fully converged form.
+//   - Append/Delete/Flush: accept updates after construction; the paper
+//     assumes a static setting (Sec. 2), so arrivals are buffered, deletions
+//     tombstoned, and both merged/compacted on demand.
+
+package core
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// stochasticCut returns a random cut coordinate within (lo, hi) drawn from
+// the index's deterministic RNG, used to pre-split big slices so worst-case
+// (sequential) workloads cannot keep every query on an unrefined tail.
+func (ix *Index) stochasticCut(lo, hi float64) float64 {
+	c := lo + ix.rng.Float64()*(hi-lo)
+	if c <= lo || c >= hi {
+		c = (lo + hi) / 2
+	}
+	return c
+}
+
+// Complete finishes all outstanding refinement: every slice on every level
+// is split down to its τ threshold and every refined slice receives its
+// exact bounding box, exactly as if enough queries had touched the whole
+// universe. Afterwards queries perform no further cracking. Typical use is
+// converting the adaptive index into its converged form during idle time.
+func (ix *Index) Complete() {
+	if ix.root == nil {
+		return
+	}
+	ix.completeList(ix.root, 0)
+}
+
+func (ix *Index) completeList(list *sliceList, dim int) {
+	var out []*slice
+	for _, s := range list.slices {
+		out = append(out, ix.completeSlice(s, dim)...)
+	}
+	list.slices = out
+	list.maxExt = 0
+	for _, s := range out {
+		list.noteExtent(s, dim)
+		if dim < geom.Dims-1 {
+			if s.children == nil {
+				ix.createDefaultChild(s)
+			}
+			ix.completeList(s.children, dim+1)
+		}
+	}
+}
+
+// completeSlice splits s at midpoints until every fragment meets τ,
+// finalizing all fragments. It returns the replacement slices in lo order.
+func (ix *Index) completeSlice(s *slice, dim int) []*slice {
+	if s.size() <= ix.tau[dim] {
+		ix.finalize(s)
+		return []*slice{s}
+	}
+	sMin, sMax := ix.lowerRange(s, dim)
+	if sMax <= sMin {
+		ix.finalize(s)
+		return []*slice{s}
+	}
+	halves := ix.crackTwo(s, dim, artificialCut(sMin, sMax))
+	out := make([]*slice, 0, 2)
+	for _, h := range halves {
+		out = append(out, ix.completeSlice(h, dim)...)
+	}
+	return out
+}
+
+// Append registers new objects with the index. The paper assumes all data is
+// available up front (static setting); arrivals are therefore buffered and
+// scanned linearly by every query until Flush folds them into the indexed
+// array. IDs need not be unique, but results are reported by ID.
+func (ix *Index) Append(objs ...geom.Object) {
+	ix.pending = append(ix.pending, objs...)
+	for i := range objs {
+		for d := 0; d < geom.Dims; d++ {
+			if e := objs[i].Max[d] - objs[i].Min[d]; e > ix.maxExt[d] {
+				ix.maxExt[d] = e
+			}
+		}
+		ix.dataMBB = ix.dataMBB.Extend(objs[i].Box)
+	}
+}
+
+// Pending returns the number of appended objects not yet folded into the
+// indexed array.
+func (ix *Index) Pending() int { return len(ix.pending) }
+
+// Delete removes the object with the given ID, using hint (typically the
+// object's own box) to locate it. Deletion is logical — a tombstone filters
+// the object out of all results immediately — and physical on the next
+// Flush, which compacts the array and restarts refinement. It reports
+// whether an object was found. IDs are assumed unique for deletion; with
+// duplicates every object carrying the ID disappears from results.
+func (ix *Index) Delete(id int32, hint geom.Box) bool {
+	// A pending object can be removed outright.
+	for i := range ix.pending {
+		if ix.pending[i].ID == id && ix.pending[i].Intersects(hint) {
+			ix.pending = append(ix.pending[:i], ix.pending[i+1:]...)
+			return true
+		}
+	}
+	// Locate in the indexed array (refines around hint as a side effect).
+	for _, pos := range ix.queryPositions(hint, nil) {
+		if ix.data[pos].ID == id {
+			if ix.deleted == nil {
+				ix.deleted = make(map[int32]struct{})
+			}
+			ix.deleted[id] = struct{}{}
+			return true
+		}
+	}
+	return false
+}
+
+// Deleted returns the number of tombstoned objects awaiting compaction.
+func (ix *Index) Deleted() int { return len(ix.deleted) }
+
+// Flush folds all appended objects into the indexed array and compacts away
+// tombstoned ones. The slice hierarchy restarts from a single unrefined
+// slice — subsequent queries rebuild it incrementally, which is the
+// adaptive-indexing answer to bulk updates (refining the merge is future
+// work the paper leaves open).
+func (ix *Index) Flush() {
+	if len(ix.pending) == 0 && len(ix.deleted) == 0 {
+		return
+	}
+	if len(ix.deleted) > 0 {
+		kept := ix.data[:0]
+		for i := range ix.data {
+			if _, dead := ix.deleted[ix.data[i].ID]; !dead {
+				kept = append(kept, ix.data[i])
+			}
+		}
+		ix.data = kept
+		ix.deleted = nil
+	}
+	ix.data = append(ix.data, ix.pending...)
+	ix.pending = nil
+	ix.computeTaus()
+	initial := &slice{level: 0, lo: 0, hi: len(ix.data), box: geom.UniverseBox()}
+	ix.root = &sliceList{slices: []*slice{initial}, maxExt: math.Inf(1)}
+	ix.stats.SlicesCreated++
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/scan"
+	"repro/internal/workload"
+)
+
+func TestEquivalenceStochastic(t *testing.T) {
+	data := dataset.Uniform(5000, 501)
+	queries := workload.Uniform(dataset.Universe(), 120, 1e-3, 502)
+	runEquivalence(t, data, queries, Config{Tau: 32, Stochastic: true})
+}
+
+func TestEquivalenceStochasticSequential(t *testing.T) {
+	data := dataset.Uniform(5000, 503)
+	queries := workload.Sequential(dataset.Universe(), 150, 1e-3, 0)
+	runEquivalence(t, data, queries, Config{Tau: 32, Stochastic: true, Seed: 7})
+}
+
+func TestStochasticDeterministicForSeed(t *testing.T) {
+	data := dataset.Uniform(3000, 504)
+	queries := workload.Uniform(dataset.Universe(), 50, 1e-3, 505)
+	run := func(seed int64) Stats {
+		ix := New(dataset.Clone(data), Config{Stochastic: true, Seed: seed})
+		for _, q := range queries {
+			ix.Query(q, nil)
+		}
+		return ix.Stats()
+	}
+	a, b := run(9), run(9)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c := run(10)
+	if a == c {
+		t.Fatal("different seeds produced identical work counters (suspicious)")
+	}
+}
+
+func TestStochasticTamesSequentialWorkload(t *testing.T) {
+	// Under a single-pass fine-grained sequential sweep, plain cracking
+	// re-partitions the shrinking unrefined tail on every query; the
+	// stochastic pre-cut must reduce the total objects moved. (On coarse
+	// sweeps the pre-cut is mild overhead — the classic stochastic-cracking
+	// trade-off.)
+	data := dataset.Uniform(40000, 506)
+	queries := workload.Sequential(dataset.Universe(), 45, 1e-5, 0)
+	run := func(cfg Config) int64 {
+		ix := New(dataset.Clone(data), cfg)
+		for _, q := range queries {
+			ix.Query(q, nil)
+		}
+		return ix.Stats().CrackedObjects
+	}
+	plain := run(Config{})
+	stochastic := run(Config{Stochastic: true})
+	if stochastic >= plain {
+		t.Fatalf("stochastic moved %d objects, plain %d — no improvement", stochastic, plain)
+	}
+}
+
+func TestCompleteRefinesEverything(t *testing.T) {
+	data := dataset.Uniform(10000, 507)
+	ix := New(dataset.Clone(data), Config{Tau: 32})
+	ix.Complete()
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// After Complete, queries crack nothing.
+	before := ix.Stats().Cracks
+	for _, q := range workload.Uniform(dataset.Universe(), 50, 1e-3, 508) {
+		ix.Query(q, nil)
+	}
+	if after := ix.Stats().Cracks; after != before {
+		t.Fatalf("queries still cracked after Complete: %d -> %d", before, after)
+	}
+}
+
+func TestCompleteMatchesScan(t *testing.T) {
+	data := dataset.Uniform(5000, 509)
+	oracle := scan.New(data)
+	ix := New(dataset.Clone(data), Config{Tau: 32})
+	ix.Complete()
+	for qi, q := range workload.Uniform(dataset.Universe(), 80, 1e-3, 510) {
+		got := sortedIDs(ix.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+}
+
+func TestCompleteAfterPartialRefinement(t *testing.T) {
+	data := dataset.Uniform(8000, 511)
+	ix := New(dataset.Clone(data), Config{Tau: 32})
+	for _, q := range workload.Uniform(dataset.Universe(), 30, 1e-3, 512) {
+		ix.Query(q, nil)
+	}
+	ix.Complete()
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Query(dataset.Universe(), nil)
+	if len(res) != len(data) {
+		t.Fatalf("universe query found %d of %d", len(res), len(data))
+	}
+}
+
+func TestCompleteEmptyIndex(t *testing.T) {
+	ix := New(nil, Config{})
+	ix.Complete() // must not panic
+}
+
+func TestAppendVisibleBeforeFlush(t *testing.T) {
+	data := dataset.Uniform(1000, 513)
+	ix := New(dataset.Clone(data), Config{Tau: 32})
+	extra := geom.Object{Box: geom.BoxAt(geom.Point{42, 42, 42}, 2), ID: 99999}
+	ix.Append(extra)
+	if ix.Len() != 1001 || ix.Pending() != 1 {
+		t.Fatalf("Len=%d Pending=%d", ix.Len(), ix.Pending())
+	}
+	res := ix.Query(geom.BoxAt(geom.Point{42, 42, 42}, 4), nil)
+	found := false
+	for _, id := range res {
+		if id == 99999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("appended object invisible before Flush")
+	}
+}
+
+func TestFlushIntegratesAppended(t *testing.T) {
+	base := dataset.Uniform(2000, 514)
+	extra := dataset.Uniform(500, 515)
+	for i := range extra {
+		extra[i].ID += 10000
+	}
+	ix := New(dataset.Clone(base), Config{Tau: 32})
+	for _, q := range workload.Uniform(dataset.Universe(), 20, 1e-3, 516) {
+		ix.Query(q, nil) // pre-refine, then invalidate via Flush
+	}
+	ix.Append(extra...)
+	ix.Flush()
+	if ix.Pending() != 0 || ix.Len() != 2500 {
+		t.Fatalf("Pending=%d Len=%d", ix.Pending(), ix.Len())
+	}
+	all := append(dataset.Clone(base), extra...)
+	oracle := scan.New(all)
+	for qi, q := range workload.Uniform(dataset.Universe(), 60, 1e-3, 517) {
+		got := sortedIDs(ix.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d after flush: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushNoPendingIsNoop(t *testing.T) {
+	data := dataset.Uniform(500, 518)
+	ix := New(dataset.Clone(data), Config{Tau: 16})
+	for _, q := range workload.Uniform(dataset.Universe(), 10, 1e-2, 519) {
+		ix.Query(q, nil)
+	}
+	slices := ix.NumSlices()
+	ix.Flush()
+	if ix.NumSlices() != slices {
+		t.Fatal("Flush without pending data reset the hierarchy")
+	}
+}
+
+func TestKNNWithPendingObjects(t *testing.T) {
+	data := dataset.Uniform(2000, 520)
+	ix := New(dataset.Clone(data), Config{Tau: 32})
+	target := geom.Object{Box: geom.BoxAt(geom.Point{7777, 7777, 7777}, 1), ID: 55555}
+	ix.Append(target)
+	nn := ix.KNN(geom.Point{7777, 7777, 7777}, 1)
+	if len(nn) != 1 || nn[0].ID != 55555 {
+		t.Fatalf("KNN missed the appended nearest object: %v", nn)
+	}
+}
+
+func TestStochasticWithClusteredWorkloadStillCorrect(t *testing.T) {
+	data := dataset.Neuro(4000, 521, dataset.NeuroConfig{})
+	oracle := scan.New(data)
+	ix := New(dataset.Clone(data), Config{Stochastic: true})
+	var got, want []int32
+	for qi, q := range workload.ClusteredOn(dataset.Universe(), data, 4, 25, 1e-4, 200, 522) {
+		got = ix.Query(q, got[:0])
+		want = oracle.Query(q, want[:0])
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+}
+
+func TestDeleteHidesObjectImmediately(t *testing.T) {
+	data := dataset.Uniform(2000, 530)
+	ix := New(dataset.Clone(data), Config{Tau: 32})
+	victim := data[1234]
+	if !ix.Delete(victim.ID, victim.Box) {
+		t.Fatal("Delete failed to find the object")
+	}
+	if ix.Deleted() != 1 || ix.Len() != 1999 {
+		t.Fatalf("Deleted=%d Len=%d", ix.Deleted(), ix.Len())
+	}
+	res := ix.Query(victim.Box, nil)
+	for _, id := range res {
+		if id == victim.ID {
+			t.Fatal("deleted object still returned")
+		}
+	}
+}
+
+func TestDeleteThenFlushCompacts(t *testing.T) {
+	data := dataset.Uniform(2000, 531)
+	ix := New(dataset.Clone(data), Config{Tau: 32})
+	rng := rand.New(rand.NewSource(532))
+	removed := make(map[int32]bool)
+	for _, i := range rng.Perm(len(data))[:500] {
+		if !ix.Delete(data[i].ID, data[i].Box) {
+			t.Fatalf("Delete(%d) failed", data[i].ID)
+		}
+		removed[data[i].ID] = true
+	}
+	ix.Flush()
+	if ix.Deleted() != 0 || ix.Len() != 1500 {
+		t.Fatalf("after flush: Deleted=%d Len=%d", ix.Deleted(), ix.Len())
+	}
+	// Remaining objects must exactly match the survivors.
+	live := make([]geom.Object, 0, 1500)
+	for _, o := range data {
+		if !removed[o.ID] {
+			live = append(live, o)
+		}
+	}
+	oracle := scan.New(live)
+	for qi, q := range workload.Uniform(dataset.Universe(), 50, 1e-3, 533) {
+		got := sortedIDs(ix.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d after compaction: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeletePendingObject(t *testing.T) {
+	ix := New(dataset.Uniform(100, 534), Config{})
+	o := geom.Object{Box: geom.BoxAt(geom.Point{5, 5, 5}, 1), ID: 7777}
+	ix.Append(o)
+	if !ix.Delete(7777, o.Box) {
+		t.Fatal("Delete of pending object failed")
+	}
+	if ix.Pending() != 0 || ix.Deleted() != 0 {
+		t.Fatalf("Pending=%d Deleted=%d", ix.Pending(), ix.Deleted())
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	ix := New(dataset.Uniform(100, 535), Config{})
+	if ix.Delete(99999, dataset.Universe()) {
+		t.Fatal("Delete of missing ID reported success")
+	}
+	if ix.Len() != 100 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestDeleteSurvivesPersistence(t *testing.T) {
+	data := dataset.Uniform(500, 536)
+	ix := New(dataset.Clone(data), Config{Tau: 16})
+	victim := data[42]
+	ix.Delete(victim.ID, victim.Box)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Deleted() != 1 || loaded.Len() != 499 {
+		t.Fatalf("Deleted=%d Len=%d after reload", loaded.Deleted(), loaded.Len())
+	}
+	for _, id := range loaded.Query(victim.Box, nil) {
+		if id == victim.ID {
+			t.Fatal("tombstone lost in round trip")
+		}
+	}
+}

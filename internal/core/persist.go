@@ -1,0 +1,165 @@
+// Persistence: a QUASII index is the product of the queries executed against
+// it, so being able to save and reload one preserves an exploration
+// session's accumulated refinement — the incremental-indexing equivalent of
+// shipping a pre-built index. Encoding uses encoding/gob over an exported
+// snapshot of the slice hierarchy and the (reorganized) data array.
+
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// snapshot is the gob-encoded on-disk form of an Index.
+type snapshot struct {
+	Version int
+	Cfg     Config
+	Data    []geom.Object
+	Pending []geom.Object
+	Deleted []int32
+	MaxExt  geom.Point
+	DataMBB geom.Box
+	Tau     [geom.Dims]int
+	Root    *snapList
+	Stats   Stats
+}
+
+type snapList struct {
+	MaxExt float64
+	Slices []snapSlice
+}
+
+type snapSlice struct {
+	Lo, Hi   int
+	Box      geom.Box
+	Refined  bool
+	Children *snapList
+}
+
+const snapshotVersion = 1
+
+// Save serializes the index — data array, pending buffer, and the full
+// slice hierarchy with its refinement state — to w.
+func (ix *Index) Save(w io.Writer) error {
+	snap := snapshot{
+		Version: snapshotVersion,
+		Cfg:     ix.cfg,
+		Data:    ix.data,
+		Pending: ix.pending,
+		Deleted: deletedIDs(ix.deleted),
+		MaxExt:  ix.maxExt,
+		DataMBB: ix.dataMBB,
+		Tau:     ix.tau,
+		Root:    encodeList(ix.root),
+		Stats:   ix.stats,
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reconstructs an index previously serialized with Save.
+func Load(r io.Reader) (*Index, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding quasii snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("unsupported quasii snapshot version %d", snap.Version)
+	}
+	seed := snap.Cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	ix := &Index{
+		cfg:     snap.Cfg,
+		data:    snap.Data,
+		pending: snap.Pending,
+		deleted: deletedSet(snap.Deleted),
+		maxExt:  snap.MaxExt,
+		dataMBB: snap.DataMBB,
+		tau:     snap.Tau,
+		rng:     rand.New(rand.NewSource(seed)),
+		stats:   snap.Stats,
+		root:    decodeList(snap.Root, 0),
+	}
+	if ix.root == nil {
+		ix.root = &sliceList{}
+	}
+	// Bounds-check every slice range before the structural invariant check,
+	// which indexes into the data array and would panic on dangling ranges.
+	if err := checkRanges(ix.root, len(ix.data)); err != nil {
+		return nil, fmt.Errorf("corrupt quasii snapshot: %w", err)
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("corrupt quasii snapshot: %w", err)
+	}
+	return ix, nil
+}
+
+func checkRanges(l *sliceList, n int) error {
+	for _, s := range l.slices {
+		if s.lo < 0 || s.hi < s.lo || s.hi > n {
+			return fmt.Errorf("slice range [%d,%d) out of bounds for %d objects", s.lo, s.hi, n)
+		}
+		if s.children != nil {
+			if err := checkRanges(s.children, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func encodeList(l *sliceList) *snapList {
+	if l == nil {
+		return nil
+	}
+	out := &snapList{MaxExt: l.maxExt, Slices: make([]snapSlice, len(l.slices))}
+	for i, s := range l.slices {
+		out.Slices[i] = snapSlice{
+			Lo: s.lo, Hi: s.hi, Box: s.box, Refined: s.refined,
+			Children: encodeList(s.children),
+		}
+	}
+	return out
+}
+
+func decodeList(l *snapList, level int) *sliceList {
+	if l == nil {
+		return nil
+	}
+	out := &sliceList{maxExt: l.MaxExt, slices: make([]*slice, len(l.Slices))}
+	for i, s := range l.Slices {
+		out.slices[i] = &slice{
+			level: level, lo: s.Lo, hi: s.Hi, box: s.Box, refined: s.Refined,
+			children: decodeList(s.Children, level+1),
+		}
+	}
+	return out
+}
+
+func deletedIDs(set map[int32]struct{}) []int32 {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	return out
+}
+
+func deletedSet(ids []int32) map[int32]struct{} {
+	if len(ids) == 0 {
+		return nil
+	}
+	set := make(map[int32]struct{}, len(ids))
+	for _, id := range ids {
+		set[id] = struct{}{}
+	}
+	return set
+}

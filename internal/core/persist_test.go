@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/scan"
+	"repro/internal/workload"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	data := dataset.Uniform(5000, 1001)
+	oracle := scan.New(data)
+	ix := New(dataset.Clone(data), Config{Tau: 32})
+	warm := workload.Uniform(dataset.Universe(), 80, 1e-3, 1002)
+	for _, q := range warm {
+		ix.Query(q, nil)
+	}
+	statsBefore := ix.Stats()
+	slicesBefore := ix.NumSlices()
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumSlices() != slicesBefore {
+		t.Fatalf("slices = %d, want %d", loaded.NumSlices(), slicesBefore)
+	}
+	if loaded.Stats() != statsBefore {
+		t.Fatalf("stats = %+v, want %+v", loaded.Stats(), statsBefore)
+	}
+	// The reloaded index answers correctly and keeps refining.
+	for qi, q := range workload.Uniform(dataset.Universe(), 60, 1e-3, 1003) {
+		got := sortedIDs(loaded.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d after reload: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistRefinementPreserved(t *testing.T) {
+	// Queries on a reloaded, fully-converged index must crack nothing.
+	data := dataset.Uniform(4000, 1004)
+	ix := New(dataset.Clone(data), Config{Tau: 32})
+	ix.Complete()
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := loaded.Stats().Cracks
+	for _, q := range workload.Uniform(dataset.Universe(), 30, 1e-3, 1005) {
+		loaded.Query(q, nil)
+	}
+	if after := loaded.Stats().Cracks; after != before {
+		t.Fatalf("reloaded converged index cracked: %d -> %d", before, after)
+	}
+}
+
+func TestPersistWithPending(t *testing.T) {
+	data := dataset.Uniform(1000, 1006)
+	ix := New(dataset.Clone(data), Config{Tau: 32})
+	ix.Append(geom.Object{Box: geom.BoxAt(geom.Point{1, 2, 3}, 1), ID: 424242})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", loaded.Pending())
+	}
+	res := loaded.Query(geom.BoxAt(geom.Point{1, 2, 3}, 2), nil)
+	found := false
+	for _, id := range res {
+		if id == 424242 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pending object lost in round trip")
+	}
+}
+
+func TestPersistEmptyIndex(t *testing.T) {
+	ix := New(nil, Config{})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := loaded.Query(geom.BoxAt(geom.Point{0, 0, 0}, 10), nil); len(res) != 0 {
+		t.Fatalf("empty reload returned %d results", len(res))
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("this is not a snapshot")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRejectsCorruptStructure(t *testing.T) {
+	// Encode a snapshot whose slice ranges are inconsistent; Load must
+	// reject it via CheckInvariants.
+	data := dataset.Uniform(100, 1007)
+	ix := New(dataset.Clone(data), Config{Tau: 8})
+	ix.Query(workload.Uniform(dataset.Universe(), 1, 1e-2, 1008)[0], nil)
+	// Corrupt: shrink the data array so slice ranges dangle.
+	ix.data = ix.data[:50]
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}

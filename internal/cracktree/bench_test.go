@@ -1,0 +1,42 @@
+package cracktree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkInsertRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var tr Tree
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Uint64(), i)
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	var tr Tree
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(uint64(i), i)
+	}
+}
+
+func BenchmarkFloorCeiling(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var tr Tree
+	for i := 0; i < 100000; i++ {
+		tr.Insert(rng.Uint64(), i)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		if _, pos, ok := tr.Floor(rng.Uint64()); ok {
+			sink += pos
+		}
+		if _, pos, ok := tr.Ceiling(rng.Uint64()); ok {
+			sink += pos
+		}
+	}
+	_ = sink
+}

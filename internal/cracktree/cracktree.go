@@ -1,0 +1,145 @@
+// Package cracktree provides the cracker index used by SFCracker: an ordered
+// map from crack key (a Morton code boundary) to the array position where the
+// partition at that key begins. It is a treap — a randomized balanced binary
+// search tree — giving O(log n) expected insert and lookup, which matters
+// because a single spatial query cracks the array at up to two boundaries per
+// curve interval (the paper reports ~197 intervals per query).
+//
+// Priorities are derived deterministically from the key by an avalanche hash,
+// keeping the whole reproduction seed-stable.
+package cracktree
+
+// Tree is an ordered key→position map. The zero value is an empty tree.
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	key         uint64
+	pos         int
+	prio        uint64
+	left, right *node
+}
+
+// hash64 is SplitMix64's finalizer — a statelessly deterministic priority.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// Len returns the number of crack boundaries stored.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the position recorded for key, if present.
+func (t *Tree) Get(key uint64) (pos int, ok bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.pos, true
+		}
+	}
+	return 0, false
+}
+
+// Insert records pos for key. Inserting an existing key overwrites its
+// position (cracking never needs this, but it keeps the map semantics clean).
+func (t *Tree) Insert(key uint64, pos int) {
+	inserted := false
+	t.root = insert(t.root, key, pos, &inserted)
+	if inserted {
+		t.size++
+	}
+}
+
+func insert(n *node, key uint64, pos int, inserted *bool) *node {
+	if n == nil {
+		*inserted = true
+		return &node{key: key, pos: pos, prio: hash64(key)}
+	}
+	switch {
+	case key < n.key:
+		n.left = insert(n.left, key, pos, inserted)
+		if n.left.prio > n.prio {
+			n = rotateRight(n)
+		}
+	case key > n.key:
+		n.right = insert(n.right, key, pos, inserted)
+		if n.right.prio > n.prio {
+			n = rotateLeft(n)
+		}
+	default:
+		n.pos = pos
+	}
+	return n
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	return r
+}
+
+// Floor returns the entry with the greatest key <= key.
+func (t *Tree) Floor(key uint64) (k uint64, pos int, ok bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			k, pos, ok = n.key, n.pos, true
+			n = n.right
+		default:
+			return n.key, n.pos, true
+		}
+	}
+	return k, pos, ok
+}
+
+// Ceiling returns the entry with the smallest key > key (a strict successor).
+func (t *Tree) Ceiling(key uint64) (k uint64, pos int, ok bool) {
+	n := t.root
+	for n != nil {
+		if key < n.key {
+			k, pos, ok = n.key, n.pos, true
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return k, pos, ok
+}
+
+// Walk visits all entries in ascending key order until fn returns false.
+func (t *Tree) Walk(fn func(key uint64, pos int) bool) {
+	walk(t.root, fn)
+}
+
+func walk(n *node, fn func(uint64, int) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !walk(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.pos) {
+		return false
+	}
+	return walk(n.right, fn)
+}

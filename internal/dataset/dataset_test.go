@@ -1,0 +1,157 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestUniformProperties(t *testing.T) {
+	const n = 20000
+	objs := Uniform(n, 1)
+	if len(objs) != n {
+		t.Fatalf("len = %d, want %d", len(objs), n)
+	}
+	universe := Universe()
+	var large int
+	seen := make(map[int32]bool, n)
+	for i := range objs {
+		o := &objs[i]
+		if seen[o.ID] {
+			t.Fatalf("duplicate ID %d", o.ID)
+		}
+		seen[o.ID] = true
+		if o.Box.IsEmpty() {
+			t.Fatalf("object %d has empty box", i)
+		}
+		if !universe.Contains(o.Box) {
+			t.Fatalf("object %d %v outside universe", i, o.Box)
+		}
+		for d := 0; d < geom.Dims; d++ {
+			side := o.Max[d] - o.Min[d]
+			if side < 1 || side > 1000 {
+				t.Fatalf("object %d side %g out of [1,1000]", i, side)
+			}
+			if side > 10 {
+				large++
+				break
+			}
+		}
+	}
+	// ~1% of objects are large; allow generous slack.
+	frac := float64(large) / n
+	if frac < 0.002 || frac > 0.05 {
+		t.Errorf("large-object fraction = %.4f, want ~0.01", frac)
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, b := Uniform(500, 7), Uniform(500, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Uniform not deterministic")
+		}
+	}
+}
+
+func TestNeuroProperties(t *testing.T) {
+	const n = 20000
+	objs := Neuro(n, 2, NeuroConfig{})
+	if len(objs) != n {
+		t.Fatalf("len = %d", len(objs))
+	}
+	universe := Universe()
+	for i := range objs {
+		if objs[i].Box.IsEmpty() {
+			t.Fatalf("object %d empty", i)
+		}
+		if !universe.Contains(objs[i].Box) {
+			t.Fatalf("object %d outside universe", i)
+		}
+	}
+	ext := geom.MaxExtents(objs)
+	for d := 0; d < geom.Dims; d++ {
+		if ext[d] > 10 {
+			t.Errorf("neuro objects should be small; max extent[%d] = %g", d, ext[d])
+		}
+	}
+}
+
+func TestNeuroIsSkewed(t *testing.T) {
+	// Split the universe into 64 blocks; the clustered dataset must have a
+	// much higher max-block density than the uniform dataset.
+	count := func(objs []geom.Object) (max, nonEmpty int) {
+		blocks := make(map[[3]int]int)
+		for i := range objs {
+			c := objs[i].Center()
+			key := [3]int{int(c[0] / 2500), int(c[1] / 2500), int(c[2] / 2500)}
+			blocks[key]++
+		}
+		for _, v := range blocks {
+			if v > max {
+				max = v
+			}
+			nonEmpty++
+		}
+		return max, nonEmpty
+	}
+	maxN, _ := count(Neuro(10000, 3, NeuroConfig{}))
+	maxU, _ := count(Uniform(10000, 3))
+	if maxN < 2*maxU {
+		t.Errorf("neuro max block density %d not clearly above uniform %d", maxN, maxU)
+	}
+}
+
+func TestNeuroConfigDefaults(t *testing.T) {
+	var cfg NeuroConfig
+	cfg.defaults()
+	if cfg.Clusters != 50 || cfg.ClusterSigma != 250 || cfg.MaxSide != 8 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	custom := NeuroConfig{Clusters: 3, ClusterSigma: 10, MaxSide: 2, BackgroundFrac: 0.5}
+	custom.defaults()
+	if custom.Clusters != 3 || custom.ClusterSigma != 10 || custom.MaxSide != 2 || custom.BackgroundFrac != 0.5 {
+		t.Fatalf("custom config overwritten: %+v", custom)
+	}
+}
+
+func TestRandomBoxesWithinBounds(t *testing.T) {
+	bounds := geom.Box{Min: geom.Point{-10, 0, 5}, Max: geom.Point{10, 20, 25}}
+	objs := RandomBoxes(1000, 4, bounds)
+	for i := range objs {
+		if !bounds.Contains(objs[i].Box) {
+			t.Fatalf("object %d %v outside bounds", i, objs[i].Box)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Uniform(100, 5)
+	b := Clone(a)
+	b[0].Min[0] = -999
+	if a[0].Min[0] == -999 {
+		t.Fatal("Clone shares backing storage")
+	}
+	if len(b) != len(a) {
+		t.Fatalf("clone length %d != %d", len(b), len(a))
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	u := Universe()
+	if u.Min != (geom.Point{0, 0, 0}) {
+		t.Errorf("universe min = %v", u.Min)
+	}
+	if u.Max != (geom.Point{UniverseSide, UniverseSide, UniverseSide}) {
+		t.Errorf("universe max = %v", u.Max)
+	}
+}
+
+func TestZeroCountGenerators(t *testing.T) {
+	if objs := Uniform(0, 1); len(objs) != 0 {
+		t.Error("Uniform(0) should be empty")
+	}
+	if objs := Neuro(0, 1, NeuroConfig{}); len(objs) != 0 {
+		t.Error("Neuro(0) should be empty")
+	}
+}

@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/geom"
+)
+
+// fileMagic identifies the binary dataset format: a header line, an object
+// count, then per object six little-endian float64 coordinates and an int32
+// ID.
+const fileMagic = "QSII1\n"
+
+// Write serializes objects to w in the binary dataset format.
+func Write(w io.Writer, objs []geom.Object) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(objs))); err != nil {
+		return err
+	}
+	for i := range objs {
+		rec := [6]float64{
+			objs[i].Min[0], objs[i].Min[1], objs[i].Min[2],
+			objs[i].Max[0], objs[i].Max[1], objs[i].Max[2],
+		}
+		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, objs[i].ID); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes objects written by Write.
+func Read(r io.Reader) ([]geom.Object, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	if string(head) != fileMagic {
+		return nil, fmt.Errorf("not a quasii dataset stream (bad magic %q)", head)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("reading count: %w", err)
+	}
+	const maxReasonable = 1 << 33
+	if count > maxReasonable {
+		return nil, fmt.Errorf("implausible object count %d", count)
+	}
+	objs := make([]geom.Object, count)
+	for i := range objs {
+		var rec [6]float64
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("object %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &objs[i].ID); err != nil {
+			return nil, fmt.Errorf("object %d id: %w", i, err)
+		}
+		objs[i].Min = geom.Point{rec[0], rec[1], rec[2]}
+		objs[i].Max = geom.Point{rec[3], rec[4], rec[5]}
+	}
+	return objs, nil
+}
+
+// WriteFile writes objects to the named file in the binary dataset format.
+func WriteFile(path string, objs []geom.Object) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, objs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a dataset file written by WriteFile.
+func ReadFile(path string) ([]geom.Object, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	objs, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return objs, nil
+}

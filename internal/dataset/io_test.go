@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	objs := Uniform(1000, 42)
+	var buf bytes.Buffer
+	if err := Write(&buf, objs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(objs) {
+		t.Fatalf("read %d objects, want %d", len(got), len(objs))
+	}
+	for i := range objs {
+		if got[i] != objs[i] {
+			t.Fatalf("object %d mismatch: %v != %v", i, got[i], objs[i])
+		}
+	}
+}
+
+func TestWriteReadEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("read %d objects from empty stream", len(got))
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	_, err := Read(strings.NewReader("NOTQS\nxxxxxxxxxx"))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("expected magic error, got %v", err)
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	objs := Uniform(10, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, objs); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-20]
+	if _, err := Read(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestReadRejectsImplausibleCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(fileMagic)
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // count = 2^64-1
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("implausible count accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.bin")
+	objs := Neuro(500, 7, NeuroConfig{})
+	if err := WriteFile(path, objs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(objs) {
+		t.Fatalf("read %d, want %d", len(got), len(objs))
+	}
+	for i := range objs {
+		if got[i] != objs[i] {
+			t.Fatalf("object %d mismatch", i)
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

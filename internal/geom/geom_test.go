@@ -1,0 +1,249 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func box(x0, y0, z0, x1, y1, z1 float64) Box {
+	return Box{Min: Point{x0, y0, z0}, Max: Point{x1, y1, z1}}
+}
+
+func TestNewBoxNormalizes(t *testing.T) {
+	b := NewBox(Point{5, 1, 9}, Point{2, 4, 3})
+	want := box(2, 1, 3, 5, 4, 9)
+	if b != want {
+		t.Fatalf("NewBox = %v, want %v", b, want)
+	}
+}
+
+func TestBoxAt(t *testing.T) {
+	b := BoxAt(Point{10, 20, 30}, 4)
+	want := box(8, 18, 28, 12, 22, 32)
+	if b != want {
+		t.Fatalf("BoxAt = %v, want %v", b, want)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Box
+		want bool
+	}{
+		{"identical", box(0, 0, 0, 1, 1, 1), box(0, 0, 0, 1, 1, 1), true},
+		{"overlap", box(0, 0, 0, 2, 2, 2), box(1, 1, 1, 3, 3, 3), true},
+		{"touching face", box(0, 0, 0, 1, 1, 1), box(1, 0, 0, 2, 1, 1), true},
+		{"touching corner", box(0, 0, 0, 1, 1, 1), box(1, 1, 1, 2, 2, 2), true},
+		{"disjoint x", box(0, 0, 0, 1, 1, 1), box(1.5, 0, 0, 2, 1, 1), false},
+		{"disjoint y", box(0, 0, 0, 1, 1, 1), box(0, 2, 0, 1, 3, 1), false},
+		{"disjoint z", box(0, 0, 0, 1, 1, 1), box(0, 0, -5, 1, 1, -2), false},
+		{"contained", box(0, 0, 0, 10, 10, 10), box(2, 2, 2, 3, 3, 3), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Intersects(tt.b); got != tt.want {
+				t.Errorf("%v.Intersects(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+			// Intersection is symmetric.
+			if got := tt.b.Intersects(tt.a); got != tt.want {
+				t.Errorf("%v.Intersects(%v) = %v, want %v (symmetry)", tt.b, tt.a, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestContains(t *testing.T) {
+	outer := box(0, 0, 0, 10, 10, 10)
+	if !outer.Contains(box(1, 1, 1, 9, 9, 9)) {
+		t.Error("outer should contain inner")
+	}
+	if !outer.Contains(outer) {
+		t.Error("box should contain itself")
+	}
+	if outer.Contains(box(1, 1, 1, 11, 9, 9)) {
+		t.Error("outer should not contain box sticking out")
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	b := box(0, 0, 0, 1, 1, 1)
+	if !b.ContainsPoint(Point{0.5, 0.5, 0.5}) {
+		t.Error("center should be contained")
+	}
+	if !b.ContainsPoint(Point{0, 0, 0}) || !b.ContainsPoint(Point{1, 1, 1}) {
+		t.Error("corners should be contained (inclusive)")
+	}
+	if b.ContainsPoint(Point{1.01, 0.5, 0.5}) {
+		t.Error("outside point should not be contained")
+	}
+}
+
+func TestEmptyBox(t *testing.T) {
+	e := EmptyBox()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyBox should be empty")
+	}
+	b := box(1, 2, 3, 4, 5, 6)
+	if got := e.Extend(b); got != b {
+		t.Errorf("EmptyBox.Extend(b) = %v, want %v", got, b)
+	}
+	if e.Volume() != 0 {
+		t.Errorf("EmptyBox volume = %g, want 0", e.Volume())
+	}
+}
+
+func TestUniverseBox(t *testing.T) {
+	u := UniverseBox()
+	if u.IsEmpty() {
+		t.Fatal("universe should not be empty")
+	}
+	if !u.ContainsPoint(Point{1e300, -1e300, 0}) {
+		t.Error("universe should contain any point")
+	}
+}
+
+func TestExtend(t *testing.T) {
+	a := box(0, 0, 0, 1, 1, 1)
+	b := box(2, -1, 0.5, 3, 0.5, 0.75)
+	got := a.Extend(b)
+	want := box(0, -1, 0, 3, 1, 1)
+	if got != want {
+		t.Errorf("Extend = %v, want %v", got, want)
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	a := box(0, 0, 0, 2, 2, 2)
+	b := box(1, 1, 1, 3, 3, 3)
+	got := a.Intersection(b)
+	want := box(1, 1, 1, 2, 2, 2)
+	if got != want {
+		t.Errorf("Intersection = %v, want %v", got, want)
+	}
+	c := box(5, 5, 5, 6, 6, 6)
+	if !a.Intersection(c).IsEmpty() {
+		t.Error("disjoint intersection should be empty")
+	}
+}
+
+func TestCenterExtentVolume(t *testing.T) {
+	b := box(0, 2, 4, 2, 6, 10)
+	if got := b.Center(); got != (Point{1, 4, 7}) {
+		t.Errorf("Center = %v", got)
+	}
+	if b.Extent(0) != 2 || b.Extent(1) != 4 || b.Extent(2) != 6 {
+		t.Errorf("Extent = %g %g %g", b.Extent(0), b.Extent(1), b.Extent(2))
+	}
+	if b.Volume() != 48 {
+		t.Errorf("Volume = %g, want 48", b.Volume())
+	}
+}
+
+func TestMinDistSq(t *testing.T) {
+	b := box(0, 0, 0, 1, 1, 1)
+	if d := b.MinDistSq(Point{0.5, 0.5, 0.5}); d != 0 {
+		t.Errorf("inside point dist = %g, want 0", d)
+	}
+	if d := b.MinDistSq(Point{2, 0.5, 0.5}); d != 1 {
+		t.Errorf("dist = %g, want 1", d)
+	}
+	if d := b.MinDistSq(Point{2, 2, 0.5}); d != 2 {
+		t.Errorf("dist = %g, want 2", d)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	b := box(0, 0, 0, 1, 1, 1)
+	got := b.Expand(Point{1, 2, 3})
+	want := box(-1, -2, -3, 2, 3, 4)
+	if got != want {
+		t.Errorf("Expand = %v, want %v", got, want)
+	}
+}
+
+func TestMBBAndMaxExtents(t *testing.T) {
+	objs := []Object{
+		{Box: box(0, 0, 0, 1, 2, 3), ID: 0},
+		{Box: box(-1, 5, 2, 0, 6, 9), ID: 1},
+	}
+	if got, want := MBB(objs), box(-1, 0, 0, 1, 6, 9); got != want {
+		t.Errorf("MBB = %v, want %v", got, want)
+	}
+	if got := MaxExtents(objs); got != (Point{1, 2, 7}) {
+		t.Errorf("MaxExtents = %v", got)
+	}
+	if got := MBB(nil); !got.IsEmpty() {
+		t.Errorf("MBB(nil) = %v, want empty", got)
+	}
+}
+
+// randBox produces a random box inside [-100,100]^3.
+func randBox(rng *rand.Rand) Box {
+	var a, b Point
+	for d := 0; d < Dims; d++ {
+		a[d] = rng.Float64()*200 - 100
+		b[d] = rng.Float64()*200 - 100
+	}
+	return NewBox(a, b)
+}
+
+// Property: Intersects(a,b) agrees with a non-empty Intersection(a,b).
+func TestIntersectsMatchesIntersectionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randBox(rng), randBox(rng)
+		inter := a.Intersection(b)
+		if a.Intersects(b) != !inter.IsEmpty() {
+			t.Fatalf("Intersects/Intersection disagree: a=%v b=%v", a, b)
+		}
+	}
+}
+
+// Property: Extend yields a box containing both inputs.
+func TestExtendContainsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a, b := randBox(rng), randBox(rng)
+		e := a.Extend(b)
+		if !e.Contains(a) || !e.Contains(b) {
+			t.Fatalf("Extend(%v, %v) = %v does not contain inputs", a, b, e)
+		}
+	}
+}
+
+// Property (testing/quick): NewBox always yields a normalized, non-empty box,
+// and its center lies within it.
+func TestNewBoxNormalizedQuick(t *testing.T) {
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1e9) // keep Center's (Min+Max)/2 free of overflow
+	}
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		b := NewBox(Point{clamp(ax), clamp(ay), clamp(az)}, Point{clamp(bx), clamp(by), clamp(bz)})
+		return !b.IsEmpty() && b.ContainsPoint(b.Center())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): MinDistSq is 0 iff the point is inside the box.
+func TestMinDistSqZeroIffInsideQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(px, py, pz float64) bool {
+		if math.IsNaN(px) || math.IsNaN(py) || math.IsNaN(pz) {
+			return true
+		}
+		p := Point{math.Mod(px, 100), math.Mod(py, 100), math.Mod(pz, 100)}
+		b := randBox(rng)
+		return (b.MinDistSq(p) == 0) == b.ContainsPoint(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

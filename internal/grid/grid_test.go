@@ -1,0 +1,148 @@
+package grid
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/scan"
+	"repro/internal/workload"
+)
+
+func sortedIDs(ids []int32) []int32 {
+	out := append([]int32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyGrid(t *testing.T) {
+	for _, assign := range []Assignment{QueryExtension, Replication} {
+		ix := New(nil, Config{Assign: assign})
+		if res := ix.Query(geom.Box{Max: geom.Point{1, 1, 1}}, nil); len(res) != 0 {
+			t.Fatalf("assign %v: got %d results", assign, len(res))
+		}
+	}
+}
+
+func TestMatchesScanBothAssignments(t *testing.T) {
+	data := dataset.Uniform(8000, 81)
+	oracle := scan.New(data)
+	queries := workload.Uniform(dataset.Universe(), 80, 1e-3, 82)
+	for _, assign := range []Assignment{QueryExtension, Replication} {
+		ix := New(data, Config{Partitions: 32, Assign: assign, Universe: dataset.Universe()})
+		for qi, q := range queries {
+			got := sortedIDs(ix.Query(q, nil))
+			want := sortedIDs(oracle.Query(q, nil))
+			if !equalIDs(got, want) {
+				t.Fatalf("assign %v query %d: got %d, want %d", assign, qi, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestMatchesScanLargeObjects(t *testing.T) {
+	// Large objects overlap many cells: replication factor high, extension
+	// radius large. Both must stay correct.
+	data := dataset.RandomBoxes(1000, 83, dataset.Universe())
+	oracle := scan.New(data)
+	queries := workload.Uniform(dataset.Universe(), 30, 1e-3, 84)
+	for _, assign := range []Assignment{QueryExtension, Replication} {
+		ix := New(data, Config{Partitions: 16, Assign: assign, Universe: dataset.Universe()})
+		for qi, q := range queries {
+			got := sortedIDs(ix.Query(q, nil))
+			want := sortedIDs(oracle.Query(q, nil))
+			if !equalIDs(got, want) {
+				t.Fatalf("assign %v query %d: got %d, want %d", assign, qi, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestReplicationNoDuplicates(t *testing.T) {
+	data := dataset.RandomBoxes(500, 85, dataset.Universe())
+	ix := New(data, Config{Partitions: 8, Assign: Replication, Universe: dataset.Universe()})
+	q := dataset.Universe()
+	res := ix.Query(q, nil)
+	seen := make(map[int32]bool, len(res))
+	for _, id := range res {
+		if seen[id] {
+			t.Fatalf("duplicate id %d in result", id)
+		}
+		seen[id] = true
+	}
+	if len(res) != len(data) {
+		t.Fatalf("universe query returned %d of %d", len(res), len(data))
+	}
+}
+
+func TestReplicationFactorExceedsOne(t *testing.T) {
+	data := dataset.RandomBoxes(500, 86, dataset.Universe())
+	rep := New(data, Config{Partitions: 16, Assign: Replication, Universe: dataset.Universe()})
+	ext := New(data, Config{Partitions: 16, Assign: QueryExtension, Universe: dataset.Universe()})
+	if rep.ReplicatedEntries() <= int64(len(data)) {
+		t.Fatalf("replication entries = %d, want > %d", rep.ReplicatedEntries(), len(data))
+	}
+	if ext.ReplicatedEntries() != int64(len(data)) {
+		t.Fatalf("query-extension entries = %d, want %d", ext.ReplicatedEntries(), len(data))
+	}
+}
+
+func TestCandidateCountExtensionConsidersMore(t *testing.T) {
+	// Query extension inspects more candidates than the final result size —
+	// the Fig. 6a effect.
+	data := dataset.Uniform(20000, 87)
+	ix := New(data, Config{Partitions: 32, Universe: dataset.Universe()})
+	q := workload.Uniform(dataset.Universe(), 1, 1e-3, 88)[0]
+	cand := ix.CandidateCount(q)
+	res := len(ix.Query(q, nil))
+	if cand < int64(res) {
+		t.Fatalf("candidates %d < results %d", cand, res)
+	}
+	if cand == 0 {
+		t.Fatal("no candidates inspected")
+	}
+}
+
+func TestDefaultPartitions(t *testing.T) {
+	ix := New(dataset.Uniform(100, 89), Config{})
+	if ix.Partitions() != DefaultPartitions {
+		t.Fatalf("partitions = %d, want %d", ix.Partitions(), DefaultPartitions)
+	}
+}
+
+func TestQueryOutsideUniverse(t *testing.T) {
+	data := dataset.Uniform(1000, 90)
+	ix := New(data, Config{Partitions: 16, Universe: dataset.Universe()})
+	q := geom.Box{Min: geom.Point{-100, -100, -100}, Max: geom.Point{-50, -50, -50}}
+	if res := ix.Query(q, nil); len(res) != 0 {
+		t.Fatalf("got %d results outside the universe", len(res))
+	}
+}
+
+func TestEpochWrapReset(t *testing.T) {
+	data := dataset.Uniform(200, 91)
+	ix := New(data, Config{Partitions: 4, Assign: Replication, Universe: dataset.Universe()})
+	ix.curEpoch = ^uint32(0) - 1 // force a wrap within two queries
+	oracle := scan.New(data)
+	q := workload.Uniform(dataset.Universe(), 1, 1e-2, 92)[0]
+	for i := 0; i < 3; i++ {
+		got := sortedIDs(ix.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("after epoch wrap iteration %d: got %d, want %d", i, len(got), len(want))
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package gridfile implements a two-level grid in the spirit of the
+// two-level grid file (Hinrichs, BIT 1985), which the QUASII paper's related
+// work (Sec. 7.2) presents as the classic answer to the uniform grid's
+// configuration problem: a coarse root grid whose cells each carry their own
+// sub-grid, with the sub-grid resolution chosen from the cell's population.
+// Dense regions get fine partitioning, empty regions stay coarse — the skew
+// adaptivity a single-resolution grid lacks (paper Fig. 6b).
+//
+// This is the main-memory adaptation: the original structure optimizes disk
+// buckets; here both levels are in-memory cell directories. Objects are
+// assigned by center, so queries are extended by half the maximum object
+// extent (query extension, as elsewhere in this module).
+package gridfile
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Config controls the two-level grid.
+type Config struct {
+	// RootPartitions is the coarse grid resolution per dimension. Values < 1
+	// mean 8.
+	RootPartitions int
+	// TargetPerCell is the desired number of objects per finest sub-cell;
+	// each root cell picks its sub-grid resolution as
+	// ceil((population/target)^(1/3)), capped by MaxSubPartitions.
+	// Values < 1 mean 16.
+	TargetPerCell int
+	// MaxSubPartitions caps the per-cell sub-grid resolution. Values < 1
+	// mean 32.
+	MaxSubPartitions int
+	// Universe is the box the grid covers. Empty means derived from data.
+	Universe geom.Box
+}
+
+func (c *Config) defaults(data []geom.Object) {
+	if c.RootPartitions < 1 {
+		c.RootPartitions = 8
+	}
+	if c.TargetPerCell < 1 {
+		c.TargetPerCell = 16
+	}
+	if c.MaxSubPartitions < 1 {
+		c.MaxSubPartitions = 32
+	}
+	if c.Universe.IsEmpty() || c.Universe.Volume() == 0 {
+		u := geom.MBB(data)
+		if u.IsEmpty() {
+			u = geom.Box{Max: geom.Point{1, 1, 1}}
+		}
+		c.Universe = u
+	}
+}
+
+// cell is one root cell: either a plain object list (sparse cells) or a
+// sub-grid directory (dense cells).
+type cell struct {
+	objs  []int32   // sparse: direct object list (subParts == 1)
+	sub   [][]int32 // dense: sub-grid directory, len subParts^3
+	parts int       // sub-grid resolution (1 = no sub-grid)
+	box   geom.Box  // the cell's region of the universe
+}
+
+// Index is the two-level grid.
+type Index struct {
+	data     []geom.Object
+	universe geom.Box
+	rootN    int
+	scale    [3]float64
+	cells    []cell
+	maxExt   geom.Point
+}
+
+// New builds a two-level grid over data (referenced, not copied).
+func New(data []geom.Object, cfg Config) *Index {
+	cfg.defaults(data)
+	ix := &Index{
+		data:     data,
+		universe: cfg.Universe,
+		rootN:    cfg.RootPartitions,
+		maxExt:   geom.MaxExtents(data),
+	}
+	for d := 0; d < geom.Dims; d++ {
+		span := ix.universe.Max[d] - ix.universe.Min[d]
+		if span <= 0 {
+			span = 1
+		}
+		ix.scale[d] = float64(ix.rootN) / span
+	}
+	n := ix.rootN
+	ix.cells = make([]cell, n*n*n)
+
+	// Pass 1: count objects per root cell.
+	counts := make([]int, len(ix.cells))
+	for i := range data {
+		counts[ix.rootIndex(data[i].Center())]++
+	}
+	// Decide per-cell sub-resolution and initialize directories.
+	for c := range ix.cells {
+		parts := 1
+		if counts[c] > cfg.TargetPerCell {
+			parts = int(math.Ceil(math.Cbrt(float64(counts[c]) / float64(cfg.TargetPerCell))))
+			if parts > cfg.MaxSubPartitions {
+				parts = cfg.MaxSubPartitions
+			}
+		}
+		ix.cells[c].parts = parts
+		ix.cells[c].box = ix.rootCellBox(c)
+		if parts > 1 {
+			ix.cells[c].sub = make([][]int32, parts*parts*parts)
+		}
+	}
+	// Pass 2: place objects.
+	for i := range data {
+		center := data[i].Center()
+		c := &ix.cells[ix.rootIndex(center)]
+		if c.parts == 1 {
+			c.objs = append(c.objs, int32(i))
+			continue
+		}
+		s := c.subIndex(center)
+		c.sub[s] = append(c.sub[s], int32(i))
+	}
+	return ix
+}
+
+// rootIndex maps a point to its root cell index (clamped).
+func (ix *Index) rootIndex(p geom.Point) int {
+	var c [3]int
+	for d := 0; d < geom.Dims; d++ {
+		v := int((p[d] - ix.universe.Min[d]) * ix.scale[d])
+		if v < 0 {
+			v = 0
+		}
+		if v >= ix.rootN {
+			v = ix.rootN - 1
+		}
+		c[d] = v
+	}
+	return (c[2]*ix.rootN+c[1])*ix.rootN + c[0]
+}
+
+// rootCellBox returns the region of root cell index c.
+func (ix *Index) rootCellBox(c int) geom.Box {
+	x := c % ix.rootN
+	y := (c / ix.rootN) % ix.rootN
+	z := c / (ix.rootN * ix.rootN)
+	var b geom.Box
+	for d, v := range [3]int{x, y, z} {
+		span := (ix.universe.Max[d] - ix.universe.Min[d]) / float64(ix.rootN)
+		b.Min[d] = ix.universe.Min[d] + float64(v)*span
+		b.Max[d] = b.Min[d] + span
+	}
+	return b
+}
+
+// subIndex maps a point to the cell's sub-grid index (clamped).
+func (c *cell) subIndex(p geom.Point) int {
+	var s [3]int
+	for d := 0; d < geom.Dims; d++ {
+		span := c.box.Max[d] - c.box.Min[d]
+		if span <= 0 {
+			span = 1
+		}
+		v := int((p[d] - c.box.Min[d]) / span * float64(c.parts))
+		if v < 0 {
+			v = 0
+		}
+		if v >= c.parts {
+			v = c.parts - 1
+		}
+		s[d] = v
+	}
+	return (s[2]*c.parts+s[1])*c.parts + s[0]
+}
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int { return len(ix.data) }
+
+// SubResolutions returns the distribution of sub-grid resolutions over root
+// cells (resolution -> count). Exposes the structure's skew adaptivity.
+func (ix *Index) SubResolutions() map[int]int {
+	out := make(map[int]int)
+	for c := range ix.cells {
+		out[ix.cells[c].parts]++
+	}
+	return out
+}
+
+// Query appends the IDs of all objects intersecting q to out.
+func (ix *Index) Query(q geom.Box, out []int32) []int32 {
+	if q.IsEmpty() || len(ix.data) == 0 {
+		return out
+	}
+	var half geom.Point
+	for d := 0; d < geom.Dims; d++ {
+		half[d] = ix.maxExt[d] / 2
+	}
+	search := q.Expand(half)
+
+	lo := ix.rootCoords(search.Min)
+	hi := ix.rootCoords(search.Max)
+	for z := lo[2]; z <= hi[2]; z++ {
+		for y := lo[1]; y <= hi[1]; y++ {
+			for x := lo[0]; x <= hi[0]; x++ {
+				c := &ix.cells[(z*ix.rootN+y)*ix.rootN+x]
+				out = ix.queryCell(c, q, search, out)
+			}
+		}
+	}
+	return out
+}
+
+func (ix *Index) rootCoords(p geom.Point) [3]int {
+	var c [3]int
+	for d := 0; d < geom.Dims; d++ {
+		v := int((p[d] - ix.universe.Min[d]) * ix.scale[d])
+		if v < 0 {
+			v = 0
+		}
+		if v >= ix.rootN {
+			v = ix.rootN - 1
+		}
+		c[d] = v
+	}
+	return c
+}
+
+func (ix *Index) queryCell(c *cell, q, search geom.Box, out []int32) []int32 {
+	if c.parts == 1 {
+		for _, idx := range c.objs {
+			if ix.data[idx].Intersects(q) {
+				out = append(out, ix.data[idx].ID)
+			}
+		}
+		return out
+	}
+	// Restrict to the sub-cells the (extended) query touches.
+	inter := c.box.Intersection(search)
+	if inter.IsEmpty() {
+		return out
+	}
+	slo := c.subCoords(inter.Min)
+	shi := c.subCoords(inter.Max)
+	for z := slo[2]; z <= shi[2]; z++ {
+		for y := slo[1]; y <= shi[1]; y++ {
+			for x := slo[0]; x <= shi[0]; x++ {
+				for _, idx := range c.sub[(z*c.parts+y)*c.parts+x] {
+					if ix.data[idx].Intersects(q) {
+						out = append(out, ix.data[idx].ID)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (c *cell) subCoords(p geom.Point) [3]int {
+	var s [3]int
+	for d := 0; d < geom.Dims; d++ {
+		span := c.box.Max[d] - c.box.Min[d]
+		if span <= 0 {
+			span = 1
+		}
+		v := int((p[d] - c.box.Min[d]) / span * float64(c.parts))
+		if v < 0 {
+			v = 0
+		}
+		if v >= c.parts {
+			v = c.parts - 1
+		}
+		s[d] = v
+	}
+	return s
+}

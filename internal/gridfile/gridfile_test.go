@@ -1,0 +1,130 @@
+package gridfile
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/scan"
+	"repro/internal/workload"
+)
+
+func sortedIDs(ids []int32) []int32 {
+	out := append([]int32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmpty(t *testing.T) {
+	ix := New(nil, Config{})
+	if res := ix.Query(geom.Box{Max: geom.Point{1, 1, 1}}, nil); len(res) != 0 {
+		t.Fatalf("got %d results", len(res))
+	}
+}
+
+func TestMatchesScanUniform(t *testing.T) {
+	data := dataset.Uniform(8000, 701)
+	oracle := scan.New(data)
+	ix := New(data, Config{Universe: dataset.Universe()})
+	for qi, q := range workload.Uniform(dataset.Universe(), 80, 1e-3, 702) {
+		got := sortedIDs(ix.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+}
+
+func TestMatchesScanSkewed(t *testing.T) {
+	data := dataset.Neuro(8000, 703, dataset.NeuroConfig{})
+	oracle := scan.New(data)
+	ix := New(data, Config{Universe: dataset.Universe()})
+	for qi, q := range workload.ClusteredOn(dataset.Universe(), data, 4, 20, 1e-4, 200, 704) {
+		got := sortedIDs(ix.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+}
+
+func TestMatchesScanLargeObjects(t *testing.T) {
+	data := dataset.RandomBoxes(1500, 705, dataset.Universe())
+	oracle := scan.New(data)
+	ix := New(data, Config{Universe: dataset.Universe()})
+	for qi, q := range workload.Uniform(dataset.Universe(), 40, 1e-3, 706) {
+		got := sortedIDs(ix.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+}
+
+func TestAdaptsToSkew(t *testing.T) {
+	// On skewed data, sub-grid resolutions must vary: dense cells finer than
+	// sparse ones.
+	data := dataset.Neuro(30000, 707, dataset.NeuroConfig{Clusters: 5})
+	ix := New(data, Config{Universe: dataset.Universe()})
+	res := ix.SubResolutions()
+	if len(res) < 2 {
+		t.Fatalf("expected varied sub-resolutions, got %v", res)
+	}
+	if res[1] == 0 {
+		t.Fatalf("expected some sparse cells without sub-grids, got %v", res)
+	}
+	finer := 0
+	for parts, count := range res {
+		if parts > 1 {
+			finer += count
+		}
+	}
+	if finer == 0 {
+		t.Fatalf("expected some dense cells with sub-grids, got %v", res)
+	}
+}
+
+func TestUniformDataMostlyUniformResolution(t *testing.T) {
+	data := dataset.Uniform(20000, 708)
+	ix := New(data, Config{Universe: dataset.Universe(), RootPartitions: 4})
+	res := ix.SubResolutions()
+	// With uniform density all 64 root cells hold ~312 objects; each should
+	// pick the same (or adjacent) sub-resolution.
+	if len(res) > 2 {
+		t.Fatalf("uniform data produced %d distinct resolutions: %v", len(res), res)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	data := dataset.Uniform(100, 709)
+	ix := New(data, Config{}) // all defaults, universe derived
+	if got := ix.Query(dataset.Universe(), nil); len(got) != 100 {
+		t.Fatalf("universe query found %d of 100", len(got))
+	}
+}
+
+func TestDegenerateAllSamePoint(t *testing.T) {
+	b := geom.BoxAt(geom.Point{50, 50, 50}, 1)
+	data := make([]geom.Object, 500)
+	for i := range data {
+		data[i] = geom.Object{Box: b, ID: int32(i)}
+	}
+	ix := New(data, Config{Universe: dataset.Universe()})
+	res := ix.Query(geom.BoxAt(geom.Point{50, 50, 50}, 2), nil)
+	if len(res) != 500 {
+		t.Fatalf("found %d of 500", len(res))
+	}
+}

@@ -1,0 +1,42 @@
+package hilbert
+
+import (
+	"testing"
+
+	"repro/internal/zorder"
+)
+
+func BenchmarkEncode(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Encode(uint32(i)&1023, uint32(i>>10)&1023, uint32(i>>20)&1023, 10)
+	}
+	_ = sink
+}
+
+// BenchmarkEncodeZOrderReference shows the encoding-cost gap the paper cites
+// when choosing Z-order "due to its simplicity".
+func BenchmarkEncodeZOrderReference(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += zorder.Encode(uint32(i)&1023, uint32(i>>10)&1023, uint32(i>>20)&1023)
+	}
+	_ = sink
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		x, y, z := Decode(uint64(i)&0x3fffffff, 10)
+		sink += x + y + z
+	}
+	_ = sink
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	lo, hi := [3]uint32{100, 200, 300}, [3]uint32{140, 240, 340}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Decompose(lo, hi, 10, 256)
+	}
+}

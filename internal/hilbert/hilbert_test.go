@@ -1,0 +1,210 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/zorder"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	const bits = 4
+	n := uint32(1) << bits
+	for x := uint32(0); x < n; x++ {
+		for y := uint32(0); y < n; y++ {
+			for z := uint32(0); z < n; z++ {
+				code := Encode(x, y, z, bits)
+				gx, gy, gz := Decode(code, bits)
+				if gx != x || gy != y || gz != z {
+					t.Fatalf("roundtrip(%d,%d,%d) = %d,%d,%d via code %d", x, y, z, gx, gy, gz, code)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeBijective(t *testing.T) {
+	const bits = 3
+	n := uint32(1) << bits
+	total := uint64(1) << (3 * bits)
+	seen := make([]bool, total)
+	for x := uint32(0); x < n; x++ {
+		for y := uint32(0); y < n; y++ {
+			for z := uint32(0); z < n; z++ {
+				code := Encode(x, y, z, bits)
+				if code >= total {
+					t.Fatalf("code %d out of range", code)
+				}
+				if seen[code] {
+					t.Fatalf("code %d hit twice", code)
+				}
+				seen[code] = true
+			}
+		}
+	}
+}
+
+// The defining property of the Hilbert curve: consecutive codes map to cells
+// that differ by exactly 1 in exactly one dimension.
+func TestConsecutiveCodesAreAdjacentCells(t *testing.T) {
+	const bits = 4
+	total := uint64(1) << (3 * bits)
+	px, py, pz := Decode(0, bits)
+	for code := uint64(1); code < total; code++ {
+		x, y, z := Decode(code, bits)
+		diff := abs(int(x)-int(px)) + abs(int(y)-int(py)) + abs(int(z)-int(pz))
+		if diff != 1 {
+			t.Fatalf("codes %d->%d map to cells (%d,%d,%d)->(%d,%d,%d), L1 distance %d",
+				code-1, code, px, py, pz, x, y, z, diff)
+		}
+		px, py, pz = x, y, z
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Hilbert locality beats Z-order: the mean L1 distance between consecutive
+// curve positions is exactly 1 for Hilbert and strictly larger for Z-order
+// (the paper's stated reason to even consider Hilbert).
+func TestLocalityBeatsZOrder(t *testing.T) {
+	const bits = 4
+	total := uint64(1) << (3 * bits)
+	var zSum int
+	zx, zy, zz := zorder.Decode(0)
+	for code := uint64(1); code < total; code++ {
+		x, y, z := zorder.Decode(code)
+		zSum += abs(int(x)-int(zx)) + abs(int(y)-int(zy)) + abs(int(z)-int(zz))
+		zx, zy, zz = x, y, z
+	}
+	meanZ := float64(zSum) / float64(total-1)
+	if meanZ <= 1.0 {
+		t.Fatalf("expected Z-order mean step > 1, got %g", meanZ)
+	}
+	// Hilbert mean step is exactly 1 by TestConsecutiveCodesAreAdjacentCells.
+}
+
+func TestOctantContiguity(t *testing.T) {
+	// Every aligned octant cube must be one contiguous code range — the
+	// property Decompose relies on.
+	const bits = 4
+	for level := uint(1); level <= 2; level++ {
+		size := uint32(1) << level
+		n := uint32(1) << bits
+		for ox := uint32(0); ox < n; ox += size {
+			for oy := uint32(0); oy < n; oy += size {
+				for oz := uint32(0); oz < n; oz += size {
+					span := uint64(1)<<(3*level) - 1
+					base := Encode(ox, oy, oz, bits) &^ span
+					for x := ox; x < ox+size; x++ {
+						for y := oy; y < oy+size; y++ {
+							for z := oz; z < oz+size; z++ {
+								code := Encode(x, y, z, bits)
+								if code < base || code > base+span {
+									t.Fatalf("cell (%d,%d,%d) code %d outside cube range [%d,%d]",
+										x, y, z, code, base, base+span)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func coverage(ivs []zorder.Interval, code uint64) bool {
+	for _, iv := range ivs {
+		if code >= iv.Lo && code <= iv.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDecomposeExactCoverage(t *testing.T) {
+	const bits = 4
+	rng := rand.New(rand.NewSource(11))
+	n := uint32(1) << bits
+	for iter := 0; iter < 30; iter++ {
+		var lo, hi [3]uint32
+		for d := 0; d < 3; d++ {
+			a, b := rng.Uint32()%n, rng.Uint32()%n
+			if a > b {
+				a, b = b, a
+			}
+			lo[d], hi[d] = a, b
+		}
+		ivs := Decompose(lo, hi, bits, 0)
+		for x := uint32(0); x < n; x++ {
+			for y := uint32(0); y < n; y++ {
+				for z := uint32(0); z < n; z++ {
+					inside := x >= lo[0] && x <= hi[0] && y >= lo[1] && y <= hi[1] && z >= lo[2] && z <= hi[2]
+					code := Encode(x, y, z, bits)
+					if coverage(ivs, code) != inside {
+						t.Fatalf("iter %d: cell (%d,%d,%d) code %d coverage mismatch (want inside=%v)",
+							iter, x, y, z, code, inside)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeSortedMerged(t *testing.T) {
+	ivs := Decompose([3]uint32{1, 2, 3}, [3]uint32{11, 9, 6}, 4, 0)
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Lo <= ivs[i-1].Hi+1 {
+			t.Fatalf("intervals unsorted or unmerged: %v %v", ivs[i-1], ivs[i])
+		}
+	}
+}
+
+func TestDecomposeCap(t *testing.T) {
+	lo, hi := [3]uint32{1, 0, 1}, [3]uint32{13, 15, 3}
+	exact := Decompose(lo, hi, 4, 0)
+	if len(exact) <= 4 {
+		t.Skipf("only %d exact intervals; cap not exercised", len(exact))
+	}
+	capped := Decompose(lo, hi, 4, 4)
+	if len(capped) > 4 {
+		t.Fatalf("cap violated: %d intervals", len(capped))
+	}
+	// Capped intervals must still be a superset of the exact coverage.
+	n := uint32(1) << 4
+	for x := uint32(0); x < n; x++ {
+		for y := uint32(0); y < n; y++ {
+			for z := uint32(0); z < n; z++ {
+				inside := x >= lo[0] && x <= hi[0] && y >= lo[1] && y <= hi[1] && z >= lo[2] && z <= hi[2]
+				if inside && !coverage(capped, Encode(x, y, z, 4)) {
+					t.Fatalf("capped decomposition misses cell (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeInverted(t *testing.T) {
+	if ivs := Decompose([3]uint32{5, 0, 0}, [3]uint32{4, 9, 9}, 4, 0); ivs != nil {
+		t.Fatalf("inverted range should be nil, got %v", ivs)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	const bits = 10
+	f := func(x, y, z uint32) bool {
+		x &= 1<<bits - 1
+		y &= 1<<bits - 1
+		z &= 1<<bits - 1
+		gx, gy, gz := Decode(Encode(x, y, z, bits), bits)
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

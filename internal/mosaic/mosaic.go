@@ -1,0 +1,187 @@
+// Package mosaic implements Mosaic, the space-oriented incremental baseline
+// of the QUASII paper (Sec. 3.2): a main-memory adaptation of Space Odyssey's
+// incremental strategy. Mosaic builds an octree top-down as a side effect of
+// querying — every query splits each overlapping leaf one level deeper
+// (re-assigning the leaf's objects to the eight new octants) until the leaf
+// meets the capacity threshold or the maximum depth.
+//
+// The top-down strategy converges quickly but re-partitions data in
+// frequently queried areas multiple times, which is exactly the overhead the
+// paper measures against QUASII's nested reorganization. Object assignment is
+// by center with query extension, inheriting the space-oriented penalties of
+// Sec. 6.2.
+package mosaic
+
+import (
+	"repro/internal/geom"
+	"repro/internal/octree"
+)
+
+// Config controls Mosaic's refinement.
+type Config struct {
+	// Capacity is the leaf size below which a leaf is final. Values < 1 mean
+	// octree.DefaultCapacity (60, matching the paper's node capacity).
+	Capacity int
+	// MaxDepth bounds the octree depth (2^depth cells per dimension; the
+	// paper's grid counterpart uses 100-220 cells per dimension, i.e. depth
+	// 7-8). Values < 1 mean octree.DefaultMaxDepth.
+	MaxDepth int
+	// Universe is the root cube. Empty means derived from the data.
+	Universe geom.Box
+}
+
+// Stats counts the cumulative work done by the index.
+type Stats struct {
+	Queries     int
+	Splits      int   // leaf splits performed
+	Reassigned  int64 // objects redistributed by splits
+	ObjsTested  int64 // objects tested for intersection
+	LeavesFinal int   // leaves that reached capacity or max depth
+}
+
+// Index is the Mosaic incremental octree.
+type Index struct {
+	data     []geom.Object
+	root     octree.Node
+	capacity int
+	maxDepth int
+	maxExt   geom.Point
+	stats    Stats
+}
+
+// New prepares a Mosaic index over data. Construction is O(n): all objects
+// start in the root cell; every split happens during queries.
+func New(data []geom.Object, cfg Config) *Index {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = octree.DefaultCapacity
+	}
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = octree.DefaultMaxDepth
+	}
+	if cfg.Universe.IsEmpty() || cfg.Universe.Volume() == 0 {
+		u := geom.MBB(data)
+		if u.IsEmpty() {
+			u = geom.Box{Max: geom.Point{1, 1, 1}}
+		}
+		cfg.Universe = u
+	}
+	ix := &Index{
+		data:     data,
+		capacity: cfg.Capacity,
+		maxDepth: cfg.MaxDepth,
+		maxExt:   geom.MaxExtents(data),
+	}
+	ix.root = octree.Node{Box: cfg.Universe}
+	ix.root.Objs = make([]int32, len(data))
+	for i := range data {
+		ix.root.Objs[i] = int32(i)
+	}
+	return ix
+}
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int { return len(ix.data) }
+
+// Stats returns a snapshot of the cumulative work counters.
+func (ix *Index) Stats() Stats { return ix.stats }
+
+// Query appends the IDs of all objects intersecting q to out. As a side
+// effect, every leaf overlapping the (extended) query that still exceeds the
+// capacity is split one level deeper — Mosaic's incremental step.
+func (ix *Index) Query(q geom.Box, out []int32) []int32 {
+	ix.stats.Queries++
+	if q.IsEmpty() || len(ix.data) == 0 {
+		return out
+	}
+	search := octree.Extended(q, ix.maxExt)
+	return ix.query(&ix.root, q, search, out)
+}
+
+func (ix *Index) query(n *octree.Node, q, search geom.Box, out []int32) []int32 {
+	if !n.Box.Intersects(search) {
+		return out
+	}
+	if n.IsLeaf() {
+		// The incremental step: split an overlapping, oversized leaf one
+		// level deeper. Leaves created by the current query (same Gen) are
+		// not split again — Mosaic refines one level per query (Fig. 2).
+		if len(n.Objs) > ix.capacity && n.Depth < ix.maxDepth && n.Gen != ix.stats.Queries {
+			ix.stats.Splits++
+			ix.stats.Reassigned += int64(len(n.Objs))
+			n.Gen = ix.stats.Queries
+			n.Split(ix.data)
+			// Fall through to the children below.
+		} else {
+			ix.stats.ObjsTested += int64(len(n.Objs))
+			for _, idx := range n.Objs {
+				if ix.data[idx].Intersects(q) {
+					out = append(out, ix.data[idx].ID)
+				}
+			}
+			return out
+		}
+	}
+	for i := range n.Children {
+		out = ix.query(&n.Children[i], q, search, out)
+	}
+	return out
+}
+
+// Leaves returns the current number of leaf cells (a convergence proxy).
+func (ix *Index) Leaves() int {
+	var count func(n *octree.Node) int
+	count = func(n *octree.Node) int {
+		if n.IsLeaf() {
+			return 1
+		}
+		total := 0
+		for i := range n.Children {
+			total += count(&n.Children[i])
+		}
+		return total
+	}
+	return count(&ix.root)
+}
+
+// CheckInvariants verifies that every object lives in exactly one leaf.
+func (ix *Index) CheckInvariants() error {
+	seen := make(map[int32]bool, len(ix.data))
+	var walk func(n *octree.Node) error
+	walk = func(n *octree.Node) error {
+		if n.IsLeaf() {
+			for _, idx := range n.Objs {
+				if seen[idx] {
+					return errDup
+				}
+				seen[idx] = true
+			}
+			return nil
+		}
+		if len(n.Objs) != 0 {
+			return errInternalObjs
+		}
+		for i := range n.Children {
+			if err := walk(&n.Children[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(&ix.root); err != nil {
+		return err
+	}
+	if len(seen) != len(ix.data) {
+		return errLost
+	}
+	return nil
+}
+
+type mosaicError string
+
+func (e mosaicError) Error() string { return "mosaic: " + string(e) }
+
+var (
+	errDup          = mosaicError("object assigned to multiple leaves")
+	errInternalObjs = mosaicError("internal node holds objects")
+	errLost         = mosaicError("object lost from the tree")
+)

@@ -1,0 +1,159 @@
+package mosaic
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/scan"
+	"repro/internal/workload"
+)
+
+func sortedIDs(ids []int32) []int32 {
+	out := append([]int32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmpty(t *testing.T) {
+	ix := New(nil, Config{})
+	if res := ix.Query(geom.Box{Max: geom.Point{1, 1, 1}}, nil); len(res) != 0 {
+		t.Fatalf("got %d results", len(res))
+	}
+}
+
+func TestMatchesScanOverSequence(t *testing.T) {
+	data := dataset.Uniform(8000, 111)
+	oracle := scan.New(data)
+	ix := New(data, Config{Capacity: 32, Universe: dataset.Universe()})
+	for qi, q := range workload.Uniform(dataset.Universe(), 120, 1e-3, 112) {
+		got := sortedIDs(ix.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d, want %d", qi, len(got), len(want))
+		}
+		if qi%40 == 0 {
+			if err := ix.CheckInvariants(); err != nil {
+				t.Fatalf("after query %d: %v", qi, err)
+			}
+		}
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchesScanClustered(t *testing.T) {
+	data := dataset.Neuro(6000, 113, dataset.NeuroConfig{})
+	oracle := scan.New(data)
+	ix := New(data, Config{Capacity: 32, Universe: dataset.Universe()})
+	for qi, q := range workload.ClusteredOn(dataset.Universe(), data, 4, 30, 1e-4, 200, 114) {
+		got := sortedIDs(ix.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+}
+
+func TestMatchesScanLargeObjects(t *testing.T) {
+	data := dataset.RandomBoxes(1500, 115, dataset.Universe())
+	oracle := scan.New(data)
+	ix := New(data, Config{Capacity: 16, Universe: dataset.Universe()})
+	for qi, q := range workload.Uniform(dataset.Universe(), 50, 1e-3, 116) {
+		got := sortedIDs(ix.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+}
+
+func TestIncrementalSplitting(t *testing.T) {
+	data := dataset.Uniform(20000, 117)
+	ix := New(data, Config{Capacity: 60, Universe: dataset.Universe()})
+	if ix.Leaves() != 1 {
+		t.Fatalf("fresh index should have a single leaf, got %d", ix.Leaves())
+	}
+	q := workload.Uniform(dataset.Universe(), 1, 1e-3, 118)[0]
+	ix.Query(q, nil)
+	if ix.Leaves() == 1 {
+		t.Fatal("query should have split the root")
+	}
+	st := ix.Stats()
+	if st.Splits == 0 || st.Reassigned == 0 {
+		t.Fatalf("stats not recorded: %+v", st)
+	}
+}
+
+func TestRepeatedQueriesConverge(t *testing.T) {
+	// Repeating one query must eventually stop splitting (leaf count stable).
+	data := dataset.Uniform(20000, 119)
+	ix := New(data, Config{Capacity: 60, MaxDepth: 6, Universe: dataset.Universe()})
+	q := workload.Uniform(dataset.Universe(), 1, 1e-3, 120)[0]
+	var prevLeaves int
+	for i := 0; i < 20; i++ {
+		ix.Query(q, nil)
+		leaves := ix.Leaves()
+		if i > 10 && leaves != prevLeaves {
+			t.Fatalf("still splitting at iteration %d: %d -> %d leaves", i, prevLeaves, leaves)
+		}
+		prevLeaves = leaves
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopDownRepartitionsMultipleTimes(t *testing.T) {
+	// The paper's criticism: objects in frequently queried areas are
+	// reassigned multiple times. Reassigned must exceed the dataset size
+	// after enough queries in one region.
+	data := dataset.Uniform(30000, 121)
+	ix := New(data, Config{Capacity: 30, MaxDepth: 8, Universe: dataset.Universe()})
+	queries := workload.Clustered(dataset.Universe(), 1, 50, 1e-2, 100, 122)
+	for _, q := range queries {
+		ix.Query(q, nil)
+	}
+	if st := ix.Stats(); st.Reassigned <= int64(len(data)) {
+		t.Fatalf("expected repeated repartitioning, reassigned=%d n=%d", st.Reassigned, len(data))
+	}
+}
+
+func TestDegenerateDuplicateCenters(t *testing.T) {
+	b := geom.BoxAt(geom.Point{100, 100, 100}, 2)
+	data := make([]geom.Object, 300)
+	for i := range data {
+		data[i] = geom.Object{Box: b, ID: int32(i)}
+	}
+	ix := New(data, Config{Capacity: 4, MaxDepth: 4, Universe: dataset.Universe()})
+	for i := 0; i < 5; i++ {
+		res := ix.Query(geom.BoxAt(geom.Point{100, 100, 100}, 4), nil)
+		if len(res) != 300 {
+			t.Fatalf("iteration %d: got %d of 300", i, len(res))
+		}
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLen(t *testing.T) {
+	ix := New(dataset.Uniform(123, 130), Config{Universe: dataset.Universe()})
+	if ix.Len() != 123 {
+		t.Fatalf("Len = %d, want 123", ix.Len())
+	}
+}

@@ -1,0 +1,155 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/scan"
+	"repro/internal/workload"
+)
+
+func TestDynEmpty(t *testing.T) {
+	dt := NewDyn(Config{})
+	if dt.Len() != 0 {
+		t.Fatalf("Len = %d", dt.Len())
+	}
+	if res := dt.Query(geom.Box{Max: geom.Point{1, 1, 1}}, nil); len(res) != 0 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if err := dt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynInsertAndQueryMatchesScan(t *testing.T) {
+	data := dataset.Uniform(5000, 301)
+	oracle := scan.New(data)
+	dt := NewDynFromData(data, Config{Capacity: 16})
+	if dt.Len() != len(data) {
+		t.Fatalf("Len = %d, want %d", dt.Len(), len(data))
+	}
+	if err := dt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var got, want []int32
+	for qi, q := range workload.Uniform(dataset.Universe(), 80, 1e-3, 302) {
+		got = sortedIDs(dt.Query(q, got[:0]))
+		want = sortedIDs(oracle.Query(q, want[:0]))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+}
+
+func TestDynInterleavedInsertQuery(t *testing.T) {
+	data := dataset.Uniform(3000, 303)
+	dt := NewDyn(Config{Capacity: 8})
+	var live []geom.Object
+	queries := workload.Uniform(dataset.Universe(), 30, 1e-2, 304)
+	for i := range data {
+		dt.Insert(data[i])
+		live = append(live, data[i])
+		if i%100 == 99 {
+			q := queries[(i/100)%len(queries)]
+			got := sortedIDs(dt.Query(q, nil))
+			want := sortedIDs(scan.New(live).Query(q, nil))
+			if !equalIDs(got, want) {
+				t.Fatalf("after %d inserts: got %d, want %d", i+1, len(got), len(want))
+			}
+		}
+	}
+	if err := dt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynDelete(t *testing.T) {
+	data := dataset.Uniform(2000, 305)
+	dt := NewDynFromData(data, Config{Capacity: 8})
+	rng := rand.New(rand.NewSource(306))
+	// Delete a random half.
+	deleted := make(map[int32]bool)
+	perm := rng.Perm(len(data))
+	for _, idx := range perm[:len(data)/2] {
+		o := data[idx]
+		if !dt.Delete(o.ID, o.Box) {
+			t.Fatalf("Delete(%d) failed", o.ID)
+		}
+		deleted[o.ID] = true
+	}
+	if dt.Len() != len(data)/2 {
+		t.Fatalf("Len = %d, want %d", dt.Len(), len(data)/2)
+	}
+	if err := dt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Remaining objects still findable; deleted ones gone.
+	res := dt.Query(dataset.Universe(), nil)
+	if len(res) != len(data)/2 {
+		t.Fatalf("universe query found %d, want %d", len(res), len(data)/2)
+	}
+	for _, id := range res {
+		if deleted[id] {
+			t.Fatalf("deleted object %d still present", id)
+		}
+	}
+}
+
+func TestDynDeleteMissing(t *testing.T) {
+	data := dataset.Uniform(100, 307)
+	dt := NewDynFromData(data, Config{})
+	if dt.Delete(9999, dataset.Universe()) {
+		t.Fatal("Delete of missing ID reported success")
+	}
+	if dt.Len() != 100 {
+		t.Fatalf("Len changed to %d", dt.Len())
+	}
+}
+
+func TestDynDeleteAll(t *testing.T) {
+	data := dataset.Uniform(500, 308)
+	dt := NewDynFromData(data, Config{Capacity: 8})
+	for i := range data {
+		if !dt.Delete(data[i].ID, data[i].Box) {
+			t.Fatalf("Delete(%d) failed", data[i].ID)
+		}
+	}
+	if dt.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", dt.Len())
+	}
+	if res := dt.Query(dataset.Universe(), nil); len(res) != 0 {
+		t.Fatalf("empty tree returned %d results", len(res))
+	}
+}
+
+// The paper's claim behind choosing STR: bulk loading produces less leaf
+// overlap than one-at-a-time insertion.
+func TestSTRBeatsDynamicOnLeafOverlap(t *testing.T) {
+	data := dataset.Uniform(8000, 309)
+	str := New(data, Config{Capacity: 32})
+	dyn := NewDynFromData(data, Config{Capacity: 32})
+	so, do := str.LeafOverlapVolume(), dyn.LeafOverlapVolume()
+	if so >= do {
+		t.Fatalf("STR leaf overlap %g not below dynamic %g", so, do)
+	}
+}
+
+func TestDynDuplicateIDs(t *testing.T) {
+	// The tree stores whatever it is given; deleting removes one instance.
+	b := geom.BoxAt(geom.Point{5, 5, 5}, 2)
+	dt := NewDyn(Config{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		dt.Insert(geom.Object{Box: b, ID: 7})
+	}
+	if dt.Len() != 10 {
+		t.Fatalf("Len = %d", dt.Len())
+	}
+	if !dt.Delete(7, b) {
+		t.Fatal("delete failed")
+	}
+	if dt.Len() != 9 {
+		t.Fatalf("Len = %d after one delete", dt.Len())
+	}
+}

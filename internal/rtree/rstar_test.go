@@ -1,0 +1,121 @@
+package rtree
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/scan"
+	"repro/internal/workload"
+)
+
+func TestRStarEmpty(t *testing.T) {
+	rs := NewRStar(Config{})
+	if rs.Len() != 0 {
+		t.Fatalf("Len = %d", rs.Len())
+	}
+	if res := rs.Query(geom.Box{Max: geom.Point{1, 1, 1}}, nil); len(res) != 0 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if err := rs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRStarMatchesScan(t *testing.T) {
+	data := dataset.Uniform(5000, 601)
+	oracle := scan.New(data)
+	rs := NewRStarFromData(data, Config{Capacity: 16})
+	if rs.Len() != len(data) {
+		t.Fatalf("Len = %d", rs.Len())
+	}
+	if err := rs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var got, want []int32
+	for qi, q := range workload.Uniform(dataset.Universe(), 80, 1e-3, 602) {
+		got = sortedIDs(rs.Query(q, got[:0]))
+		want = sortedIDs(oracle.Query(q, want[:0]))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+}
+
+func TestRStarMatchesScanClustered(t *testing.T) {
+	data := dataset.Neuro(4000, 603, dataset.NeuroConfig{})
+	oracle := scan.New(data)
+	rs := NewRStarFromData(data, Config{Capacity: 32})
+	for qi, q := range workload.ClusteredOn(dataset.Universe(), data, 3, 20, 1e-4, 200, 604) {
+		got := sortedIDs(rs.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+	if err := rs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRStarMatchesScanLargeObjects(t *testing.T) {
+	data := dataset.RandomBoxes(1500, 605, dataset.Universe())
+	oracle := scan.New(data)
+	rs := NewRStarFromData(data, Config{Capacity: 16})
+	for qi, q := range workload.Uniform(dataset.Universe(), 40, 1e-3, 606) {
+		got := sortedIDs(rs.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+}
+
+func TestRStarForcedReinsertionHappens(t *testing.T) {
+	data := dataset.Uniform(3000, 607)
+	rs := NewRStarFromData(data, Config{Capacity: 16})
+	if rs.Reinsertions() == 0 {
+		t.Fatal("no forced reinsertions recorded")
+	}
+	if rs.Splits() == 0 {
+		t.Fatal("no splits recorded")
+	}
+}
+
+// The headline claim for R*: less leaf overlap than Guttman quadratic.
+func TestRStarBeatsGuttmanOnLeafOverlap(t *testing.T) {
+	data := dataset.Uniform(6000, 608)
+	guttman := NewDynFromData(data, Config{Capacity: 32})
+	rstar := NewRStarFromData(data, Config{Capacity: 32})
+	g, r := guttman.LeafOverlapVolume(), rstar.LeafOverlapVolume()
+	if r >= g {
+		t.Fatalf("R* leaf overlap %g not below Guttman %g", r, g)
+	}
+}
+
+func TestRStarTinyCapacityClamped(t *testing.T) {
+	data := dataset.Uniform(200, 609)
+	rs := NewRStarFromData(data, Config{Capacity: 2}) // clamped to 4
+	if err := rs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	res := rs.Query(dataset.Universe(), nil)
+	if len(res) != 200 {
+		t.Fatalf("found %d of 200", len(res))
+	}
+}
+
+func TestRStarDuplicateObjects(t *testing.T) {
+	b := geom.BoxAt(geom.Point{5, 5, 5}, 2)
+	rs := NewRStar(Config{Capacity: 8})
+	for i := 0; i < 200; i++ {
+		rs.Insert(geom.Object{Box: b, ID: int32(i)})
+	}
+	if err := rs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	res := rs.Query(geom.BoxAt(geom.Point{5, 5, 5}, 1), nil)
+	if len(res) != 200 {
+		t.Fatalf("found %d of 200 identical objects", len(res))
+	}
+}

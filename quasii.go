@@ -1,0 +1,288 @@
+// Package quasii is a Go implementation of QUASII — the QUery-Aware Spatial
+// Incremental Index of Pavlovic, Sidlauskas, Heinis and Ailamaki (EDBT 2018)
+// — together with every baseline the paper evaluates it against.
+//
+// QUASII indexes 3-d boxes in main memory without a pre-processing step:
+// the index is built incrementally, as a side effect of executing range
+// queries, by partially sorting (cracking) the data array on each query's
+// bounds one dimension at a time. The first query is therefore almost as
+// cheap as a scan, while frequently queried regions converge to the query
+// performance of a bulk-loaded R-tree.
+//
+// # Quick start
+//
+//	objects := []quasii.Object{ ... }
+//	ix := quasii.NewQUASII(objects, quasii.QUASIIConfig{})
+//	hits := ix.Query(quasii.NewBox(
+//		quasii.Point{0, 0, 0}, quasii.Point{10, 10, 10}), nil)
+//
+// NewQUASII takes ownership of the slice and reorganizes it in place; pass a
+// copy if the order matters to you.
+//
+// # Baselines
+//
+// The package also exposes the paper's comparison systems under the same
+// Index interface: a full Scan, a static Z-order curve index (NewSFC) and
+// its incremental cracking variant (NewSFCracker), a uniform Grid with both
+// replication and query-extension assignment, Mosaic (an incremental
+// octree), a static Octree, and an STR bulk-loaded R-tree (NewRTree, which
+// additionally offers k-nearest-neighbor search).
+package quasii
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/gridfile"
+	"repro/internal/mosaic"
+	"repro/internal/octree"
+	"repro/internal/rtree"
+	"repro/internal/scan"
+	"repro/internal/sfc"
+	"repro/internal/syncidx"
+	"repro/internal/workload"
+)
+
+// Geometric primitives, re-exported from the internal geometry package.
+type (
+	// Point is a point in 3-d space.
+	Point = geom.Point
+	// Box is an axis-aligned 3-d box with Min and Max corners.
+	Box = geom.Box
+	// Object is a spatial object: a bounding box plus a stable ID.
+	Object = geom.Object
+)
+
+// Dims is the dimensionality of the spatial domain (3).
+const Dims = geom.Dims
+
+// NewBox returns the box spanning two corner points (normalized).
+func NewBox(a, b Point) Box { return geom.NewBox(a, b) }
+
+// BoxAt returns the cube with the given center and side length.
+func BoxAt(center Point, side float64) Box { return geom.BoxAt(center, side) }
+
+// MBB returns the minimum bounding box of the given objects.
+func MBB(objs []Object) Box { return geom.MBB(objs) }
+
+// Index is the query interface shared by every spatial index in this module.
+// Query appends the IDs of all objects whose boxes intersect q to out and
+// returns the extended slice. Incremental indexes (QUASII, SFCracker,
+// Mosaic) refine themselves as a side effect of Query.
+type Index interface {
+	Len() int
+	Query(q Box, out []int32) []int32
+}
+
+// QUASII, the paper's contribution.
+type (
+	// QUASII is the query-aware spatial incremental index (internal/core).
+	QUASII = core.Index
+	// QUASIIConfig configures QUASII; the zero value selects the paper's
+	// defaults (τ = 60, lower-coordinate assignment).
+	QUASIIConfig = core.Config
+	// QUASIIStats reports the cumulative indexing work QUASII performed.
+	QUASIIStats = core.Stats
+)
+
+// AssignMode values for QUASIIConfig.Assign.
+const (
+	// AssignLower assigns objects to slices by their lower corner (default).
+	AssignLower = core.AssignLower
+	// AssignCenter assigns by the object's center (ablation).
+	AssignCenter = core.AssignCenter
+	// AssignUpper assigns by the object's upper corner (ablation; the
+	// paper's footnote 1 notes it works equally).
+	AssignUpper = core.AssignUpper
+)
+
+// QUASIINeighbor is one kNN result from QUASII.KNN (implemented with
+// expanding range queries, refining the index as a side effect).
+type QUASIINeighbor = core.Neighbor
+
+// NewQUASII builds a QUASII index over data. The index takes ownership of
+// the slice: queries reorganize it in place. Construction is O(n); all
+// indexing work happens inside Query.
+func NewQUASII(data []Object, cfg QUASIIConfig) *QUASII { return core.New(data, cfg) }
+
+// Static and incremental baselines.
+type (
+	// RTree is the STR bulk-loaded R-tree (static reference index).
+	RTree = rtree.Tree
+	// RTreeConfig configures the R-tree (node capacity, default 60).
+	RTreeConfig = rtree.Config
+	// DynRTree is a dynamic (Guttman, quadratic-split) R-tree supporting
+	// Insert and Delete — the one-at-a-time alternative STR is measured
+	// against in the paper.
+	DynRTree = rtree.DynTree
+	// RStarTree is the R*-tree (Beckmann et al.): improved subtree choice,
+	// margin-based splits and forced reinsertion — the refinement strategy
+	// the paper's Sec. 5 weighs against QUASII's artificial slicing.
+	RStarTree = rtree.RStar
+	// Neighbor is one k-nearest-neighbor result from RTree.KNN.
+	Neighbor = rtree.Neighbor
+	// Grid is the uniform grid baseline.
+	Grid = grid.Index
+	// GridConfig configures the grid (resolution, assignment strategy).
+	GridConfig = grid.Config
+	// TwoLevelGrid is a two-level grid in the spirit of the two-level grid
+	// file (Hinrichs): per-cell sub-grid resolution adapts to density,
+	// sidestepping the single-resolution configuration problem of Fig. 6b.
+	TwoLevelGrid = gridfile.Index
+	// TwoLevelGridConfig configures the two-level grid.
+	TwoLevelGridConfig = gridfile.Config
+	// Mosaic is the space-oriented incremental baseline (query-driven octree).
+	Mosaic = mosaic.Index
+	// MosaicConfig configures Mosaic.
+	MosaicConfig = mosaic.Config
+	// Octree is the static octree substrate.
+	Octree = octree.Tree
+	// OctreeConfig configures the static octree.
+	OctreeConfig = octree.Config
+	// SFC is the static Z-order curve index.
+	SFC = sfc.Index
+	// SFCracker is the incremental cracking variant of SFC.
+	SFCracker = sfc.Cracker
+	// SFCConfig configures both SFC variants.
+	SFCConfig = sfc.Config
+	// Scan is the full-scan baseline.
+	Scan = scan.Index
+)
+
+// Grid assignment strategies for GridConfig.Assign.
+const (
+	// GridQueryExtension assigns objects by center and extends queries.
+	GridQueryExtension = grid.QueryExtension
+	// GridReplication assigns objects to every overlapping cell.
+	GridReplication = grid.Replication
+)
+
+// Space-filling curves for SFCConfig.Curve.
+const (
+	// CurveZOrder is the paper's curve choice for SFC/SFCracker (default).
+	CurveZOrder = sfc.ZOrder
+	// CurveHilbert trades encoding cost for strictly better locality.
+	CurveHilbert = sfc.Hilbert
+)
+
+// NewRTree bulk-loads an R-tree over a copy of data using STR packing.
+func NewRTree(data []Object, cfg RTreeConfig) *RTree { return rtree.New(data, cfg) }
+
+// NewDynRTree returns an empty dynamic R-tree; add objects with Insert.
+func NewDynRTree(cfg RTreeConfig) *DynRTree { return rtree.NewDyn(cfg) }
+
+// NewDynRTreeFromData builds a dynamic R-tree by inserting every object in
+// order (the pre-processing strategy STR bulk loading replaces).
+func NewDynRTreeFromData(data []Object, cfg RTreeConfig) *DynRTree {
+	return rtree.NewDynFromData(data, cfg)
+}
+
+// NewRStarTree returns an empty R*-tree; add objects with Insert.
+func NewRStarTree(cfg RTreeConfig) *RStarTree { return rtree.NewRStar(cfg) }
+
+// NewRStarTreeFromData builds an R*-tree by inserting every object in order.
+func NewRStarTreeFromData(data []Object, cfg RTreeConfig) *RStarTree {
+	return rtree.NewRStarFromData(data, cfg)
+}
+
+// NewGrid builds a uniform grid over data (referenced, not copied).
+func NewGrid(data []Object, cfg GridConfig) *Grid { return grid.New(data, cfg) }
+
+// NewTwoLevelGrid builds a two-level (density-adaptive) grid over data.
+func NewTwoLevelGrid(data []Object, cfg TwoLevelGridConfig) *TwoLevelGrid {
+	return gridfile.New(data, cfg)
+}
+
+// NewMosaic prepares a Mosaic incremental octree over data.
+func NewMosaic(data []Object, cfg MosaicConfig) *Mosaic { return mosaic.New(data, cfg) }
+
+// NewOctree builds a static octree over data.
+func NewOctree(data []Object, cfg OctreeConfig) *Octree { return octree.New(data, cfg) }
+
+// NewSFC builds the static Z-order index (transform + full sort).
+func NewSFC(data []Object, cfg SFCConfig) *SFC { return sfc.New(data, cfg) }
+
+// NewSFCracker prepares an SFCracker; the Z-order transformation is deferred
+// to the first query, as in the paper.
+func NewSFCracker(data []Object, cfg SFCConfig) *SFCracker { return sfc.NewCracker(data, cfg) }
+
+// NewScan returns the full-scan baseline.
+func NewScan(data []Object) *Scan { return scan.New(data) }
+
+// Dataset and workload generators used by the paper's evaluation,
+// re-exported for examples and downstream experiments.
+
+// UniverseSide is the side length of the generators' cubic universe.
+const UniverseSide = dataset.UniverseSide
+
+// Universe returns the generators' cubic universe box.
+func Universe() Box { return dataset.Universe() }
+
+// UniformDataset generates the paper's synthetic dataset: n boxes uniform in
+// the universe, 99 % with sides in [1,10] and 1 % in [10,1000].
+func UniformDataset(n int, seed int64) []Object { return dataset.Uniform(n, seed) }
+
+// NeuroConfig parameterizes the clustered neuroscience-like dataset.
+type NeuroConfig = dataset.NeuroConfig
+
+// NeuroDataset generates a skewed, clustered dataset standing in for the
+// paper's rat-brain model (see DESIGN.md for the substitution rationale).
+func NeuroDataset(n int, seed int64, cfg NeuroConfig) []Object {
+	return dataset.Neuro(n, seed, cfg)
+}
+
+// CloneObjects returns a deep copy of objs — use it to share one dataset
+// across indexes that reorganize their input in place.
+func CloneObjects(objs []Object) []Object { return dataset.Clone(objs) }
+
+// ClusteredQueries generates the paper's exploratory workload: clusters of
+// cubic queries whose volume is selectivity × the universe volume, centered
+// on the data.
+func ClusteredQueries(data []Object, numClusters, perCluster int, selectivity, sigma float64, seed int64) []Box {
+	return workload.ClusteredOn(dataset.Universe(), data, numClusters, perCluster, selectivity, sigma, seed)
+}
+
+// UniformQueries generates n uniformly placed cubic queries of the given
+// selectivity.
+func UniformQueries(n int, selectivity float64, seed int64) []Box {
+	return workload.Uniform(dataset.Universe(), n, selectivity, seed)
+}
+
+// SequentialQueries generates a sweep of n adjacent queries marching across
+// the universe along the given dimension — the "sequential" access pattern of
+// the adaptive-indexing literature.
+func SequentialQueries(n int, selectivity float64, dim int) []Box {
+	return workload.Sequential(dataset.Universe(), n, selectivity, dim)
+}
+
+// ZipfQueries generates n queries whose centers follow a Zipfian hotspot
+// distribution over cells of the universe — a heavily skewed exploratory
+// pattern.
+func ZipfQueries(n int, selectivity, skew float64, seed int64) []Box {
+	return workload.Zipf(dataset.Universe(), n, selectivity, skew, seed)
+}
+
+// Synchronized wraps any index so it is safe for concurrent use. Incremental
+// indexes mutate during Query, so even concurrent read-only workloads need
+// this (or external locking).
+type Synchronized = syncidx.Index
+
+// Synchronize returns a concurrency-safe view of ix. All access must go
+// through the returned wrapper from then on.
+func Synchronize(ix Index) *Synchronized { return syncidx.Wrap(ix) }
+
+// Compile-time interface checks: every index satisfies Index.
+var (
+	_ Index = (*QUASII)(nil)
+	_ Index = (*RTree)(nil)
+	_ Index = (*Grid)(nil)
+	_ Index = (*Mosaic)(nil)
+	_ Index = (*Octree)(nil)
+	_ Index = (*SFC)(nil)
+	_ Index = (*SFCracker)(nil)
+	_ Index = (*Scan)(nil)
+	_ Index = (*DynRTree)(nil)
+	_ Index = (*RStarTree)(nil)
+	_ Index = (*TwoLevelGrid)(nil)
+)

@@ -1,0 +1,137 @@
+package quasii_test
+
+// Soak tests: long, mixed workloads across every index in the module, and a
+// data-arrival lifecycle for QUASII. Skipped under -short.
+
+import (
+	"math/rand"
+	"testing"
+
+	quasii "repro"
+)
+
+// TestSoakMixedWorkloads interleaves uniform, clustered, sequential and
+// Zipfian queries (plus occasional degenerate ones) against the full index
+// roster, comparing every result set against Scan.
+func TestSoakMixedWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	data := quasii.NeuroDataset(12000, 901, quasii.NeuroConfig{})
+	var queries []quasii.Box
+	queries = append(queries, quasii.UniformQueries(120, 1e-3, 902)...)
+	queries = append(queries, quasii.ClusteredQueries(data, 4, 30, 1e-4, 150, 903)...)
+	queries = append(queries, quasii.SequentialQueries(60, 1e-4, 1)...)
+	queries = append(queries, quasii.ZipfQueries(120, 1e-3, 1.3, 904)...)
+	// Degenerates: inverted, zero-volume, out-of-universe, whole-universe.
+	queries = append(queries,
+		quasii.Box{Min: quasii.Point{5, 5, 5}, Max: quasii.Point{1, 1, 1}},
+		quasii.BoxAt(quasii.Point{500, 500, 500}, 0),
+		quasii.BoxAt(quasii.Point{-9000, -9000, -9000}, 100),
+		quasii.Universe(),
+	)
+	rng := rand.New(rand.NewSource(905))
+	rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+
+	oracle := quasii.NewScan(data)
+	indexes := allIndexes(data)
+	var got, want []int32
+	for qi, q := range queries {
+		want = sortedIDs(oracle.Query(q, want[:0]))
+		for name, ix := range indexes {
+			got = sortedIDs(ix.Query(q, got[:0]))
+			if !equalIDs(got, want) {
+				t.Fatalf("%s query %d (%v): got %d results, scan %d", name, qi, q, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestSoakAppendFlushLifecycle drives a QUASII index through repeated
+// query/append/flush/complete cycles, validating against a growing oracle.
+func TestSoakAppendFlushLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(906))
+	live := quasii.UniformDataset(4000, 907)
+	ix := quasii.NewQUASII(quasii.CloneObjects(live), quasii.QUASIIConfig{Tau: 32})
+	nextID := int32(len(live))
+	var got, want []int32
+	for round := 0; round < 30; round++ {
+		switch rng.Intn(5) {
+		case 0: // append a batch
+			batch := quasii.UniformDataset(200, int64(908+round))
+			for i := range batch {
+				batch[i].ID = nextID
+				nextID++
+			}
+			ix.Append(batch...)
+			live = append(live, batch...)
+		case 1: // flush
+			ix.Flush()
+		case 2: // complete refinement
+			ix.Flush()
+			ix.Complete()
+		default: // queries
+		}
+		oracle := quasii.NewScan(live)
+		for _, q := range quasii.UniformQueries(15, 1e-3, int64(909+round)) {
+			got = sortedIDs(ix.Query(q, got[:0]))
+			want = sortedIDs(oracle.Query(q, want[:0]))
+			if !equalIDs(got, want) {
+				t.Fatalf("round %d: got %d results, want %d (live=%d pending=%d)",
+					round, len(got), len(want), len(live), ix.Pending())
+			}
+		}
+	}
+	if ix.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(live))
+	}
+}
+
+// TestSoakKNNAcrossRefinementStages probes kNN on a fresh, a partially
+// refined, and a completed index — all must agree with the R-tree.
+func TestSoakKNNAcrossRefinementStages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	data := quasii.UniformDataset(8000, 910)
+	ref := quasii.NewRTree(data, quasii.RTreeConfig{})
+	probes := quasii.UniformQueries(15, 1e-3, 911)
+
+	stages := map[string]func() *quasii.QUASII{
+		"fresh": func() *quasii.QUASII {
+			return quasii.NewQUASII(quasii.CloneObjects(data), quasii.QUASIIConfig{})
+		},
+		"warmed": func() *quasii.QUASII {
+			ix := quasii.NewQUASII(quasii.CloneObjects(data), quasii.QUASIIConfig{})
+			for _, q := range quasii.UniformQueries(100, 1e-3, 912) {
+				ix.Query(q, nil)
+			}
+			return ix
+		},
+		"completed": func() *quasii.QUASII {
+			ix := quasii.NewQUASII(quasii.CloneObjects(data), quasii.QUASIIConfig{})
+			ix.Complete()
+			return ix
+		},
+	}
+	for name, mk := range stages {
+		ix := mk()
+		for pi, probe := range probes {
+			p := probe.Center()
+			mine := ix.KNN(p, 7)
+			theirs := ref.KNN(p, 7)
+			if len(mine) != len(theirs) {
+				t.Fatalf("%s probe %d: %d vs %d neighbors", name, pi, len(mine), len(theirs))
+			}
+			for i := range mine {
+				if mine[i].DistSq != theirs[i].DistSq {
+					t.Fatalf("%s probe %d neighbor %d: dist %g vs %g",
+						name, pi, i, mine[i].DistSq, theirs[i].DistSq)
+				}
+			}
+		}
+	}
+}
