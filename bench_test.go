@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	quasii "repro"
+	"repro/internal/bench"
 	"repro/internal/experiments"
 )
 
@@ -421,4 +422,64 @@ func BenchmarkQueryTwoLevelGrid(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		buf = g.Query(queries[i%len(queries)], buf[:0])
 	}
+}
+
+// --- Concurrent throughput: the sharded engine vs the global mutex ---
+//
+// benchThroughput answers a fixed uniform workload with 8 client goroutines
+// draining a shared queue; b.N iterations rebuild the engine each time so
+// adaptive indexes start cold. Compare:
+//
+//	go test -bench 'Throughput' -benchtime 5x
+//
+// The sharded engine should clear >1.5x the queries/sec of the
+// Synchronize(NewQUASII(...)) baseline.
+
+const throughputGoroutines = 8
+
+func benchThroughput(b *testing.B, build func(data []quasii.Object) quasii.Index) {
+	data := benchData(b)
+	queries := quasii.UniformQueries(2000, 1e-3, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ix := build(data)
+		b.StartTimer()
+		bench.RunParallel("bench", func() bench.QueryIndex { return ix }, queries, throughputGoroutines)
+	}
+	b.ReportMetric(float64(len(queries))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+func BenchmarkThroughputMutexQUASII(b *testing.B) {
+	benchThroughput(b, func(data []quasii.Object) quasii.Index {
+		return quasii.Synchronize(quasii.NewQUASII(quasii.CloneObjects(data), quasii.QUASIIConfig{}))
+	})
+}
+
+func BenchmarkThroughputShardedQUASII(b *testing.B) {
+	benchThroughput(b, func(data []quasii.Object) quasii.Index {
+		return quasii.NewSharded(data, quasii.ShardedConfig{Shards: throughputGoroutines})
+	})
+}
+
+func BenchmarkThroughputRWLockRTree(b *testing.B) {
+	benchThroughput(b, func(data []quasii.Object) quasii.Index {
+		return quasii.SynchronizeStatic(quasii.NewRTree(data, quasii.RTreeConfig{}))
+	})
+}
+
+// QueryBatch amortizes scheduling over the whole workload.
+func BenchmarkThroughputShardedBatch(b *testing.B) {
+	data := benchData(b)
+	queries := quasii.UniformQueries(2000, 1e-3, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ix := quasii.NewSharded(data, quasii.ShardedConfig{Shards: throughputGoroutines})
+		b.StartTimer()
+		ix.QueryBatch(queries)
+	}
+	b.ReportMetric(float64(len(queries))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 }

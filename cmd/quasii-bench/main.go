@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	quasii-bench [-scale small|medium|large] [-seed N] [fig...]
+//	quasii-bench [-scale small|medium|large] [-seed N] [-shards P] [-goroutines G] [fig...]
 //
-// With no figure arguments, all figures run in paper order. Available
-// figures: fig6a fig6b fig7 fig8 fig9 fig10 fig11 fig12 gridsweep.
+// With no figure arguments, the paper's figures (fig6a fig6b fig7 fig8 fig9
+// fig10 fig11 fig12) run in paper order. The extension experiments gridsweep,
+// patterns and throughput run only when named explicitly; throughput measures
+// the sharded parallel engine's concurrent queries/sec against the
+// global-mutex baseline.
 package main
 
 import (
@@ -28,6 +31,8 @@ import (
 func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small, medium or large")
 	seed := flag.Int64("seed", 0, "override the dataset/workload RNG seed (0 = scale default)")
+	shards := flag.Int("shards", 0, "shard count for the throughput experiment (0 = GOMAXPROCS)")
+	goroutines := flag.Int("goroutines", 0, "max client goroutines for the throughput experiment (0 = 8)")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into (created if missing)")
 	list := flag.Bool("list", false, "list available figures and exit")
 	flag.Usage = usage
@@ -51,6 +56,8 @@ func main() {
 	if *seed != 0 {
 		scale.Seed = *seed
 	}
+	scale.Shards = *shards
+	scale.Goroutines = *goroutines
 
 	figs := flag.Args()
 	if len(figs) == 0 {
@@ -126,7 +133,7 @@ func usage() {
 
 usage: quasii-bench [flags] [figure ...]
 
-Figures (default: all, in paper order):
+Paper figures (default when no figure is named, in paper order):
   fig6a      data-assignment impact: R-Tree vs Grid variants
   fig6b      grid configuration sensitivity
   fig7       convergence of incremental vs static approaches
@@ -135,7 +142,11 @@ Figures (default: all, in paper order):
   fig10      uniform workload convergence and cumulative time
   fig11      scalability at two dataset sizes
   fig12      query selectivity impact
+
+Extension experiments (run only when named):
   gridsweep  the grid-resolution parameter sweep
+  patterns   QUASII vs R-Tree under adaptive-indexing access patterns
+  throughput concurrent q/s: sharded engine vs global-mutex QUASII (-shards, -goroutines)
 
 Flags:
 `)

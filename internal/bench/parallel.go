@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// ThroughputSeries is one measured concurrent run: a fixed number of client
+// goroutines draining a shared query workload against one (concurrency-safe)
+// index.
+type ThroughputSeries struct {
+	Name       string
+	Build      time.Duration // index construction time
+	Goroutines int           // client goroutines
+	Queries    int           // queries answered
+	Wall       time.Duration // wall-clock time for the whole workload
+	Results    int64         // total result IDs returned (for validation)
+}
+
+// QPS returns the measured queries per second.
+func (t *ThroughputSeries) QPS() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.Queries) / t.Wall.Seconds()
+}
+
+// RunParallel builds an index with build() (timing it) and answers every
+// query using g client goroutines that drain a shared work queue, returning
+// the measured throughput. The index must be safe for concurrent use.
+func RunParallel(name string, build func() QueryIndex, queries []geom.Box, g int) *ThroughputSeries {
+	if g < 1 {
+		g = 1
+	}
+	s := &ThroughputSeries{Name: name, Goroutines: g, Queries: len(queries)}
+	t0 := time.Now()
+	ix := build()
+	s.Build = time.Since(t0)
+
+	var next, results atomic.Int64
+	var wg sync.WaitGroup
+	t0 = time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []int32
+			var total int64
+			for {
+				qi := int(next.Add(1)) - 1
+				if qi >= len(queries) {
+					break
+				}
+				buf = ix.Query(queries[qi], buf[:0])
+				total += int64(len(buf))
+			}
+			results.Add(total)
+		}()
+	}
+	wg.Wait()
+	s.Wall = time.Since(t0)
+	s.Results = results.Load()
+	return s
+}
+
+// ValidateResults checks that all throughput series returned the same total
+// result cardinality — the cross-engine sanity check for concurrent runs,
+// where per-query ordering is not deterministic but the total must be.
+func ValidateResults(series ...*ThroughputSeries) error {
+	if len(series) < 2 {
+		return nil
+	}
+	ref := series[0]
+	for _, s := range series[1:] {
+		if s.Queries != ref.Queries {
+			return fmt.Errorf("%s answered %d queries, %s answered %d",
+				s.Name, s.Queries, ref.Name, ref.Queries)
+		}
+		if s.Results != ref.Results {
+			return fmt.Errorf("%s returned %d total results, %s returned %d",
+				s.Name, s.Results, ref.Name, ref.Results)
+		}
+	}
+	return nil
+}
+
+// PrintThroughput writes one line per series: goroutines, build time, wall
+// time and queries/sec, plus the speedup over the first series.
+func PrintThroughput(w io.Writer, series ...*ThroughputSeries) {
+	fmt.Fprintf(w, "%-22s %4s %12s %12s %12s %9s\n",
+		"engine", "g", "build", "wall", "queries/s", "speedup")
+	var base float64
+	for i, s := range series {
+		qps := s.QPS()
+		if i == 0 {
+			base = qps
+		}
+		speedup := "1.00x"
+		if i > 0 && base > 0 {
+			speedup = fmt.Sprintf("%.2fx", qps/base)
+		}
+		fmt.Fprintf(w, "%-22s %4d %12s %12s %12.0f %9s\n",
+			s.Name, s.Goroutines, fmtDur(s.Build), fmtDur(s.Wall), qps, speedup)
+	}
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/scan"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	data := dataset.Uniform(3000, 31)
+	queries := workload.Uniform(dataset.Universe(), 100, 1e-3, 32)
+
+	serial := Run("scan", func() QueryIndex { return scan.New(data) }, queries)
+	var wantTotal int64
+	for _, c := range serial.Counts {
+		wantTotal += int64(c)
+	}
+
+	par := RunParallel("sharded", func() QueryIndex {
+		return shard.New(data, shard.Config{Shards: 4})
+	}, queries, 4)
+	if par.Queries != len(queries) {
+		t.Fatalf("answered %d queries, want %d", par.Queries, len(queries))
+	}
+	if par.Results != wantTotal {
+		t.Fatalf("total results %d, want %d", par.Results, wantTotal)
+	}
+	if par.Wall <= 0 || par.QPS() <= 0 {
+		t.Fatalf("no wall time measured: %+v", par)
+	}
+}
+
+func TestValidateResults(t *testing.T) {
+	a := &ThroughputSeries{Name: "a", Queries: 10, Results: 100}
+	b := &ThroughputSeries{Name: "b", Queries: 10, Results: 100}
+	if err := ValidateResults(a, b); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	b.Results = 99
+	if err := ValidateResults(a, b); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestPrintThroughput(t *testing.T) {
+	var sb strings.Builder
+	PrintThroughput(&sb,
+		&ThroughputSeries{Name: "mutex", Goroutines: 8, Queries: 100, Wall: 2e9},
+		&ThroughputSeries{Name: "sharded", Goroutines: 8, Queries: 100, Wall: 1e9},
+	)
+	out := sb.String()
+	for _, want := range []string{"mutex", "sharded", "2.00x", "queries/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

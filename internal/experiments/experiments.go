@@ -43,6 +43,11 @@ type Scale struct {
 	// by FigGridSweep).
 	GridUniform int
 	GridNeuro   int
+	// Shards / Goroutines parameterize the Throughput extension experiment:
+	// the sharded engine's partition count (0 = GOMAXPROCS) and the maximum
+	// concurrent client count (0 = 8).
+	Shards     int
+	Goroutines int
 }
 
 // Small is the test/bench scale: fast enough for go test.
@@ -526,16 +531,17 @@ func GridSweep(w io.Writer, sc Scale) (*Result, error) {
 
 // Registry maps figure names to drivers for the CLI.
 var Registry = map[string]func(io.Writer, Scale) (*Result, error){
-	"fig6a":     Fig6a,
-	"fig6b":     Fig6b,
-	"fig7":      Fig7,
-	"fig8":      Fig8,
-	"fig9":      Fig9,
-	"fig10":     Fig10,
-	"fig11":     Fig11,
-	"fig12":     Fig12,
-	"gridsweep": GridSweep,
-	"patterns":  Patterns,
+	"fig6a":      Fig6a,
+	"fig6b":      Fig6b,
+	"fig7":       Fig7,
+	"fig8":       Fig8,
+	"fig9":       Fig9,
+	"fig10":      Fig10,
+	"fig11":      Fig11,
+	"fig12":      Fig12,
+	"gridsweep":  GridSweep,
+	"patterns":   Patterns,
+	"throughput": Throughput,
 }
 
 // Order lists the figures in paper order for "run everything".

@@ -1,0 +1,88 @@
+// Throughput is an extension experiment (not a paper figure): concurrent
+// query throughput of the sharded parallel engine (internal/shard) against
+// the mutex-serialized QUASII the paper's single-threaded evaluation implies,
+// and against a read-write-locked static R-tree as the static ceiling.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rtree"
+	"repro/internal/shard"
+	"repro/internal/syncidx"
+	"repro/internal/workload"
+)
+
+// Throughput runs the uniform workload at increasing client counts against
+// three concurrency-safe engines:
+//
+//   - mutex+quasii:  Synchronize(QUASII) — one global lock, the baseline
+//   - rwlock+rtree:  RWrap(RTree) — static index, fully parallel reads
+//   - sharded(P):    shard.New with sc.Shards QUASII shards
+//
+// and prints per-client-count throughput tables. All engines must agree on
+// the total result cardinality of the workload.
+func Throughput(w io.Writer, sc Scale) (*Result, error) {
+	r := &Result{Figure: "throughput"}
+	data := uniformData(sc)
+	queries := workload.Uniform(dataset.Universe(), sc.UniformQueries, selUniform, sc.Seed+200)
+
+	shards := sc.Shards
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	maxG := sc.Goroutines
+	if maxG < 1 {
+		maxG = 8
+	}
+
+	engines := []struct {
+		name  string
+		build func() bench.QueryIndex
+	}{
+		{"mutex+quasii", func() bench.QueryIndex {
+			return syncidx.Wrap(core.New(dataset.Clone(data), core.Config{}))
+		}},
+		{"rwlock+rtree", func() bench.QueryIndex {
+			return syncidx.RWrap(rtree.New(data, rtree.Config{}))
+		}},
+		{fmt.Sprintf("sharded(%d)", shards), func() bench.QueryIndex {
+			return shard.New(data, shard.Config{Shards: shards})
+		}},
+	}
+
+	fmt.Fprintf(w, "  uniform dataset n=%d, %d queries, selectivity %g, up to %d clients, %d shards\n\n",
+		len(data), len(queries), selUniform, maxG, shards)
+
+	// Client counts: powers of two up to maxG, always ending at maxG itself
+	// (so -goroutines 6 actually measures 1, 2, 4 and 6 clients).
+	var clientCounts []int
+	for g := 1; g < maxG; g *= 2 {
+		clientCounts = append(clientCounts, g)
+	}
+	clientCounts = append(clientCounts, maxG)
+
+	for _, g := range clientCounts {
+		var series []*bench.ThroughputSeries
+		for _, e := range engines {
+			series = append(series, bench.RunParallel(e.name, e.build, queries, g))
+		}
+		if err := bench.ValidateResults(series...); err != nil {
+			return nil, fmt.Errorf("throughput: %w", err)
+		}
+		bench.PrintThroughput(w, series...)
+		fmt.Fprintln(w)
+		if g == maxG {
+			base, shd := series[0], series[len(series)-1]
+			r.note("at %d clients: sharded(%d) %.0f q/s vs mutex+quasii %.0f q/s (%.2fx)",
+				g, shards, shd.QPS(), base.QPS(), shd.QPS()/base.QPS())
+		}
+	}
+	r.note("all engines returned identical total result cardinalities at every client count")
+	return r, nil
+}

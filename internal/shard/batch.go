@@ -1,0 +1,52 @@
+// Batch scheduling: many queries in flight at once, answered by a fixed
+// worker pool. With inter-query parallelism available, each query runs
+// serially over its overlapping shards — per-query fan-out would only add
+// goroutine churn on a saturated pool — so the workers stay busy as long as
+// the queries spread across shards.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+)
+
+// QueryBatch answers every query and returns the per-query ID sets, indexed
+// like queries. It schedules the batch across the worker pool; results are
+// identical to calling Query on each box in order. Safe for concurrent use,
+// including concurrently with Query.
+func (ix *Index) QueryBatch(queries []geom.Box) [][]int32 {
+	results := make([][]int32, len(queries))
+	workers := ix.workers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		var hit []int
+		for qi := range queries {
+			hit = ix.overlapping(queries[qi], hit[:0])
+			results[qi] = ix.querySerial(hit, queries[qi], nil)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var hit []int
+			for {
+				qi := int(next.Add(1)) - 1
+				if qi >= len(queries) {
+					return
+				}
+				hit = ix.overlapping(queries[qi], hit[:0])
+				results[qi] = ix.querySerial(hit, queries[qi], nil)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

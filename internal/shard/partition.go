@@ -1,0 +1,113 @@
+// STR-style spatial partitioning: the same sort-tile-recursive discipline
+// the R-tree bulk loader uses, applied once at the top to carve the dataset
+// into P contiguous tiles of near-equal cardinality.
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// partition copies data and splits it into at most p spatial parts of
+// near-equal size. Tiling cuts by rank (equal object counts), not by
+// coordinate, so skewed data still yields balanced shards; fully degenerate
+// data (every representative point identical) falls back to round-robin
+// assignment, which preserves balance when tiling has nothing to sort on.
+// Every returned part is non-empty.
+func partition(data []geom.Object, p int) [][]geom.Object {
+	objs := make([]geom.Object, len(data))
+	copy(objs, data)
+	if p > len(objs) {
+		p = len(objs)
+	}
+	if p <= 1 {
+		return [][]geom.Object{objs}
+	}
+	if degenerate(objs) {
+		return roundRobin(objs, p)
+	}
+	px, py, pz := factor3(p)
+	var parts [][]geom.Object
+	for _, slab := range tile(objs, px, 0) {
+		for _, run := range tile(slab, py, 1) {
+			for _, t := range tile(run, pz, 2) {
+				if len(t) > 0 {
+					parts = append(parts, t)
+				}
+			}
+		}
+	}
+	return parts
+}
+
+// center returns the representative coordinate used for tiling: the object's
+// center in dimension d (STR's choice; balanced for volumetric objects).
+func center(o *geom.Object, d int) float64 { return (o.Min[d] + o.Max[d]) / 2 }
+
+// degenerate reports whether every object shares the same representative
+// point, in which case sorting cannot spread them and tiling degrades to an
+// arbitrary split with fully overlapping shard boxes.
+func degenerate(objs []geom.Object) bool {
+	for d := 0; d < geom.Dims; d++ {
+		c0 := center(&objs[0], d)
+		for i := 1; i < len(objs); i++ {
+			if center(&objs[i], d) != c0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// roundRobin deals objects into p parts like cards, keeping sizes within one
+// of each other.
+func roundRobin(objs []geom.Object, p int) [][]geom.Object {
+	parts := make([][]geom.Object, p)
+	for i := range objs {
+		parts[i%p] = append(parts[i%p], objs[i])
+	}
+	return parts
+}
+
+// tile sorts objs by the dimension-d representative coordinate and cuts the
+// sorted run into k contiguous parts of near-equal size (three-index slices,
+// so parts never grow into each other).
+func tile(objs []geom.Object, k, d int) [][]geom.Object {
+	if k <= 1 || len(objs) <= 1 {
+		return [][]geom.Object{objs}
+	}
+	sort.Slice(objs, func(i, j int) bool { return center(&objs[i], d) < center(&objs[j], d) })
+	if k > len(objs) {
+		k = len(objs)
+	}
+	parts := make([][]geom.Object, 0, k)
+	n := len(objs)
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		parts = append(parts, objs[lo:hi:hi])
+	}
+	return parts
+}
+
+// factor3 splits p into three factors px ≥ py ≥ pz with px·py·pz = p, as
+// balanced as possible (minimal largest factor). 16 → 4·2·2, 8 → 2·2·2,
+// primes fall back to p·1·1.
+func factor3(p int) (px, py, pz int) {
+	px, py, pz = p, 1, 1
+	for c := 1; c*c*c <= p; c++ {
+		if p%c != 0 {
+			continue
+		}
+		rem := p / c
+		for b := c; b*b <= rem; b++ {
+			if rem%b != 0 {
+				continue
+			}
+			if a := rem / b; a < px || (a == px && b < py) {
+				px, py, pz = a, b, c
+			}
+		}
+	}
+	return px, py, pz
+}

@@ -1,0 +1,260 @@
+// Package shard implements a sharded parallel query engine on top of the
+// single-threaded indexes of this module. The input objects are spatially
+// partitioned into P shards by STR-style tiling (sort-tile-recursive, the
+// same packing discipline the R-tree bulk loader uses), each shard gets its
+// own sub-index — QUASII by default, any constructor via Config.New — and
+// its own mutex.
+//
+// Concurrency comes from two directions:
+//
+//   - Inter-query: concurrent queries that touch disjoint shards proceed
+//     fully in parallel. Because the shards tile the data spatially, a
+//     low-selectivity query typically overlaps one or two shard bounding
+//     boxes, so P shards sustain close to P-way query parallelism, where
+//     the single global mutex of internal/syncidx sustains exactly 1.
+//   - Intra-query: a large query overlapping many shards fans out across a
+//     bounded worker pool and merges the per-shard ID sets.
+//
+// Adaptive sub-indexes still crack on every query — the per-shard mutex
+// makes that safe — so the engine turns QUASII's adaptive indexing into a
+// multi-core system without touching the cracking code itself.
+package shard
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Queryable is the interface a shard's sub-index must satisfy. It matches
+// the module-wide Index interface (quasii.Index).
+type Queryable interface {
+	Len() int
+	Query(q geom.Box, out []int32) []int32
+}
+
+// Config controls sharding. The zero value is usable: GOMAXPROCS shards,
+// an equally sized worker pool, and QUASII sub-indexes with the paper's
+// default configuration.
+type Config struct {
+	// Shards is the number of spatial shards P. Values < 1 select
+	// runtime.GOMAXPROCS(0). The effective count never exceeds the number
+	// of objects (every shard holds at least one object).
+	Shards int
+	// Workers bounds the goroutines a single Query may fan out across and
+	// the pool QueryBatch schedules onto. Values < 1 select
+	// min(shard count, GOMAXPROCS): fan-out beyond the hardware threads
+	// only adds scheduling churn. Workers = 1 disables intra-query fan-out
+	// entirely (multi-shard queries run inline, per-shard locks still
+	// taken), which is the right mode when inter-query concurrency already
+	// saturates the cores.
+	Workers int
+	// New constructs the sub-index over one shard's objects. The slice is
+	// owned by the sub-index (QUASII-style: it may be reorganized in
+	// place). Nil selects QUASII with SubConfig.
+	New func(data []geom.Object) Queryable
+	// SubConfig configures the default QUASII sub-indexes when New is nil.
+	SubConfig core.Config
+}
+
+// Stats aggregates the state and work counters of all shards. Core sums the
+// QUASII work counters of every sub-index that exposes them (sub-indexes
+// built by a custom Config.New without a Stats method contribute zeros).
+type Stats struct {
+	Shards      int        // number of shards
+	Objects     int        // total objects indexed
+	MinShardLen int        // objects in the smallest shard
+	MaxShardLen int        // objects in the largest shard
+	Core        core.Stats // summed QUASII work counters
+}
+
+// statser is satisfied by sub-indexes that report QUASII work counters.
+type statser interface{ Stats() core.Stats }
+
+// shardEntry is one spatial shard: a sub-index behind its own lock, plus the
+// fixed bounding box of the objects assigned to it. The box is computed at
+// build time and never changes — QUASII reorganizes objects in place but
+// never moves them across shards.
+type shardEntry struct {
+	mu     sync.Mutex
+	sub    Queryable
+	bounds geom.Box
+	n      int
+}
+
+// Index is a sharded spatial index. It satisfies the module-wide Index
+// interface and is safe for concurrent use.
+type Index struct {
+	shards  []shardEntry
+	workers int
+	// sem globally bounds intra-query fan-out goroutines across all
+	// concurrent Query calls. Slots are never acquired nested, so the
+	// semaphore cannot deadlock.
+	sem chan struct{}
+}
+
+// New partitions data into cfg.Shards spatial shards and builds one
+// sub-index per shard. The input slice is copied; the caller keeps its
+// original order.
+func New(data []geom.Object, cfg Config) *Index {
+	p := cfg.Shards
+	if p < 1 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	build := cfg.New
+	if build == nil {
+		sub := cfg.SubConfig
+		build = func(objs []geom.Object) Queryable { return core.New(objs, sub) }
+	}
+	parts := partition(data, p)
+	ix := &Index{shards: make([]shardEntry, len(parts))}
+	for i, part := range parts {
+		ix.shards[i] = shardEntry{
+			sub:    build(part),
+			bounds: geom.MBB(part),
+			n:      len(part),
+		}
+	}
+	ix.workers = cfg.Workers
+	if ix.workers < 1 {
+		ix.workers = len(ix.shards)
+		if mp := runtime.GOMAXPROCS(0); ix.workers > mp {
+			ix.workers = mp
+		}
+		if ix.workers < 1 {
+			ix.workers = 1
+		}
+	}
+	ix.sem = make(chan struct{}, ix.workers)
+	return ix
+}
+
+// NumShards returns the effective shard count (≤ Config.Shards for small
+// datasets: every shard holds at least one object).
+func (ix *Index) NumShards() int { return len(ix.shards) }
+
+// Workers returns the effective worker-pool bound.
+func (ix *Index) Workers() int { return ix.workers }
+
+// ShardBounds returns the bounding box of shard i's objects.
+func (ix *Index) ShardBounds(i int) geom.Box { return ix.shards[i].bounds }
+
+// Len returns the total number of indexed objects.
+func (ix *Index) Len() int {
+	n := 0
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.Lock()
+		n += sh.sub.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats locks each shard in turn and returns the aggregated counters.
+func (ix *Index) Stats() Stats {
+	st := Stats{Shards: len(ix.shards)}
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.Lock()
+		n := sh.sub.Len()
+		if s, ok := sh.sub.(statser); ok {
+			cs := s.Stats()
+			st.Core.Queries += cs.Queries
+			st.Core.Cracks += cs.Cracks
+			st.Core.CrackedObjects += cs.CrackedObjects
+			st.Core.SlicesCreated += cs.SlicesCreated
+			st.Core.ObjectsTested += cs.ObjectsTested
+			st.Core.ResultObjects += cs.ResultObjects
+		}
+		sh.mu.Unlock()
+		st.Objects += n
+		if i == 0 || n < st.MinShardLen {
+			st.MinShardLen = n
+		}
+		if n > st.MaxShardLen {
+			st.MaxShardLen = n
+		}
+	}
+	return st
+}
+
+// overlapping appends the indexes of all shards whose bounds intersect q.
+func (ix *Index) overlapping(q geom.Box, hit []int) []int {
+	for i := range ix.shards {
+		if ix.shards[i].bounds.Intersects(q) {
+			hit = append(hit, i)
+		}
+	}
+	return hit
+}
+
+// queryShard answers q against shard i under its lock.
+func (ix *Index) queryShard(i int, q geom.Box, out []int32) []int32 {
+	sh := &ix.shards[i]
+	sh.mu.Lock()
+	out = sh.sub.Query(q, out)
+	sh.mu.Unlock()
+	return out
+}
+
+// Query appends the IDs of all objects intersecting q to out and returns the
+// extended slice. Queries overlapping a single shard run inline; queries
+// overlapping several fan out across the worker pool and merge the
+// per-shard results in shard order, so the output order is deterministic.
+// Safe for concurrent use.
+func (ix *Index) Query(q geom.Box, out []int32) []int32 {
+	var hitBuf [16]int
+	hit := ix.overlapping(q, hitBuf[:0])
+	switch len(hit) {
+	case 0:
+		return out
+	case 1:
+		return ix.queryShard(hit[0], q, out)
+	}
+	if ix.workers <= 1 {
+		return ix.querySerial(hit, q, out)
+	}
+	results := make([][]int32, len(hit))
+	var wg sync.WaitGroup
+	for k := 1; k < len(hit); k++ {
+		// Acquire a pool slot without blocking: when concurrent queries
+		// already saturate the pool, waiting for a slot is strictly worse
+		// than answering the shard inline on this goroutine.
+		select {
+		case ix.sem <- struct{}{}:
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				results[k] = ix.queryShard(hit[k], q, nil)
+				<-ix.sem
+			}(k)
+		default:
+			results[k] = ix.queryShard(hit[k], q, nil)
+		}
+	}
+	// The calling goroutine handles the first shard itself instead of
+	// blocking idle, appending straight into out; it holds no semaphore
+	// slot, so the pool bound applies to the spawned goroutines only.
+	out = ix.queryShard(hit[0], q, out)
+	wg.Wait()
+	// Merge in shard order: the output order is deterministic regardless of
+	// which shards ran on the pool.
+	for _, r := range results[1:] {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// querySerial answers q against every hit shard inline, in shard order.
+// QueryBatch uses it too: with many in-flight queries, inter-query
+// parallelism already saturates the cores, and per-query fan-out would only
+// add goroutine churn.
+func (ix *Index) querySerial(hit []int, q geom.Box, out []int32) []int32 {
+	for _, i := range hit {
+		out = ix.queryShard(i, q, out)
+	}
+	return out
+}

@@ -2,9 +2,11 @@
 // concurrent use. Incremental indexes (QUASII, SFCracker, Mosaic) mutate
 // their internal structure during Query — that is the whole point of
 // adaptive indexing — so even read-only workloads against them need mutual
-// exclusion. The wrapper serializes all queries with a single mutex; it
-// favours simplicity and correctness over parallel scalability, which the
-// paper does not address (its evaluation is single-threaded).
+// exclusion. Wrap serializes all queries with a single mutex; it favours
+// simplicity and correctness over parallel scalability, which the paper does
+// not address (its evaluation is single-threaded). RWrap is the read-write
+// variant for static indexes, whose read-only queries may run concurrently.
+// For parallel scalability over incremental indexes, see internal/shard.
 package syncidx
 
 import (
@@ -48,6 +50,44 @@ func (s *Index) Query(q geom.Box, out []int32) []int32 {
 // Do runs fn with exclusive access to the underlying index, for operations
 // beyond Query (e.g. DynTree.Insert or QUASII stats snapshots).
 func (s *Index) Do(fn func(inner Queryable)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.inner)
+}
+
+// RWIndex wraps a *static* index with a read-write mutex: queries take the
+// read lock and run concurrently, mutations go through Do under the write
+// lock. It is ONLY correct for indexes whose Query does not mutate internal
+// state — RTree, DynTree, RStar, Grid, TwoLevelGrid, Octree, SFC and Scan
+// qualify; the incremental indexes (QUASII, SFCracker, Mosaic) crack their
+// data on every query and must use Wrap instead.
+type RWIndex struct {
+	mu    sync.RWMutex
+	inner Queryable
+}
+
+// RWrap returns a read-concurrent view of the static index ix. All accesses
+// to ix must go through the wrapper from then on.
+func RWrap(ix Queryable) *RWIndex { return &RWIndex{inner: ix} }
+
+// Len returns the number of indexed objects under the read lock.
+func (s *RWIndex) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Len()
+}
+
+// Query answers a range query under the read lock; concurrent readers
+// proceed in parallel.
+func (s *RWIndex) Query(q geom.Box, out []int32) []int32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Query(q, out)
+}
+
+// Do runs fn with exclusive (write-locked) access to the underlying index,
+// for mutations such as DynTree.Insert.
+func (s *RWIndex) Do(fn func(inner Queryable)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fn(s.inner)

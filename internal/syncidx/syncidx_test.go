@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/rtree"
 	"repro/internal/scan"
 	"repro/internal/workload"
 )
@@ -85,5 +86,91 @@ func TestDoGrantsExclusiveAccess(t *testing.T) {
 	})
 	if queries != 5 {
 		t.Fatalf("queries = %d, want 5", queries)
+	}
+}
+
+// TestRWrapConcurrentReaders hammers a read-write-wrapped static R-tree from
+// many goroutines; run with -race. Readers proceed in parallel and must all
+// agree with a private scan oracle.
+func TestRWrapConcurrentReaders(t *testing.T) {
+	data := dataset.Uniform(5000, 405)
+	ix := RWrap(rtree.New(data, rtree.Config{}))
+	oracle := scan.New(data)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			queries := workload.Uniform(dataset.Universe(), 40, 1e-3, seed)
+			var got, want []int32
+			for _, q := range queries {
+				got = ix.Query(q, got[:0])
+				want = oracle.Query(q, want[:0])
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				if len(got) != len(want) {
+					errs <- "length mismatch"
+					return
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						errs <- "content mismatch"
+						return
+					}
+				}
+			}
+			if ix.Len() != len(data) {
+				errs <- "bad len"
+			}
+		}(600 + int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestRWrapDoExcludesReaders interleaves write-locked mutations of a dynamic
+// R-tree with concurrent readers; run with -race. Readers only ever observe
+// a multiple of the insertion batch size.
+func TestRWrapDoExcludesReaders(t *testing.T) {
+	const batch = 100
+	ix := RWrap(rtree.NewDyn(rtree.Config{}))
+	objs := dataset.Uniform(10*batch, 406)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(objs); i += batch {
+			ix.Do(func(in Queryable) {
+				dt := in.(*rtree.DynTree)
+				for _, o := range objs[i : i+batch] {
+					dt.Insert(o)
+				}
+			})
+		}
+	}()
+	errs := make(chan string, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if n := ix.Len(); n%batch != 0 {
+					errs <- "observed a torn insertion batch"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
 	}
 }

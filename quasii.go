@@ -40,6 +40,7 @@ import (
 	"repro/internal/rtree"
 	"repro/internal/scan"
 	"repro/internal/sfc"
+	"repro/internal/shard"
 	"repro/internal/syncidx"
 	"repro/internal/workload"
 )
@@ -272,6 +273,37 @@ type Synchronized = syncidx.Index
 // through the returned wrapper from then on.
 func Synchronize(ix Index) *Synchronized { return syncidx.Wrap(ix) }
 
+// SynchronizedStatic wraps a static index with a read-write mutex so
+// concurrent read-only queries proceed in parallel. Only correct for indexes
+// whose Query does not mutate state (RTree, DynRTree, RStarTree, Grid,
+// TwoLevelGrid, Octree, SFC, Scan); incremental indexes must use Synchronize.
+type SynchronizedStatic = syncidx.RWIndex
+
+// SynchronizeStatic returns a read-concurrent view of the static index ix.
+// All access must go through the returned wrapper from then on.
+func SynchronizeStatic(ix Index) *SynchronizedStatic { return syncidx.RWrap(ix) }
+
+// The sharded parallel engine (internal/shard): spatial partitioning into P
+// independently locked sub-indexes, giving both inter-query parallelism
+// (queries on disjoint shards never contend) and intra-query fan-out.
+type (
+	// Sharded is the sharded parallel index. It satisfies Index, is safe
+	// for concurrent use, and additionally offers QueryBatch and Stats.
+	Sharded = shard.Index
+	// ShardedConfig configures sharding. The zero value selects GOMAXPROCS
+	// shards, an equally sized worker pool, and QUASII sub-indexes.
+	ShardedConfig = shard.Config
+	// ShardedStats aggregates per-shard sizes and QUASII work counters.
+	ShardedStats = shard.Stats
+	// ShardQueryable is the interface a custom ShardedConfig.New sub-index
+	// constructor must return; every index in this package satisfies it.
+	ShardQueryable = shard.Queryable
+)
+
+// NewSharded partitions data into spatial shards (STR tiling) and builds one
+// sub-index per shard. The input slice is copied; the caller keeps it.
+func NewSharded(data []Object, cfg ShardedConfig) *Sharded { return shard.New(data, cfg) }
+
 // Compile-time interface checks: every index satisfies Index.
 var (
 	_ Index = (*QUASII)(nil)
@@ -285,4 +317,7 @@ var (
 	_ Index = (*DynRTree)(nil)
 	_ Index = (*RStarTree)(nil)
 	_ Index = (*TwoLevelGrid)(nil)
+	_ Index = (*Synchronized)(nil)
+	_ Index = (*SynchronizedStatic)(nil)
+	_ Index = (*Sharded)(nil)
 )

@@ -42,6 +42,9 @@ func allIndexes(data []quasii.Object) map[string]quasii.Index {
 		"RStarTree":      quasii.NewRStarTreeFromData(data, quasii.RTreeConfig{}),
 		"TwoLevelGrid":   quasii.NewTwoLevelGrid(data, quasii.TwoLevelGridConfig{Universe: quasii.Universe()}),
 		"QUASII/stoch":   quasii.NewQUASII(quasii.CloneObjects(data), quasii.QUASIIConfig{Stochastic: true}),
+		"Sharded/4":      quasii.NewSharded(data, quasii.ShardedConfig{Shards: 4}),
+		"Synchronized":   quasii.Synchronize(quasii.NewQUASII(quasii.CloneObjects(data), quasii.QUASIIConfig{})),
+		"SyncStatic":     quasii.SynchronizeStatic(quasii.NewRTree(data, quasii.RTreeConfig{})),
 	}
 }
 
@@ -146,5 +149,49 @@ func TestGeneratorsDeterministic(t *testing.T) {
 	}
 	if same {
 		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+// TestShardedPublicAPI exercises the sharded engine through the re-exported
+// surface: construction, batch queries, aggregated stats, and a custom
+// sub-index constructor.
+func TestShardedPublicAPI(t *testing.T) {
+	data := quasii.UniformDataset(4000, 301)
+	oracle := quasii.NewScan(data)
+	queries := quasii.UniformQueries(50, 1e-3, 302)
+
+	ix := quasii.NewSharded(data, quasii.ShardedConfig{Shards: 8})
+	if ix.Len() != len(data) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(data))
+	}
+	if ix.NumShards() < 1 || ix.NumShards() > 8 {
+		t.Fatalf("NumShards = %d", ix.NumShards())
+	}
+
+	var want []int32
+	for qi, ids := range ix.QueryBatch(queries) {
+		want = sortedIDs(oracle.Query(queries[qi], want[:0]))
+		if !equalIDs(sortedIDs(ids), want) {
+			t.Fatalf("batch query %d: got %d results, scan %d", qi, len(ids), len(want))
+		}
+	}
+
+	st := ix.Stats()
+	if st.Objects != len(data) || st.Core.Queries == 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+
+	// Custom sub-index: an R-tree per shard.
+	rt := quasii.NewSharded(data, quasii.ShardedConfig{
+		Shards: 4,
+		New: func(objs []quasii.Object) quasii.ShardQueryable {
+			return quasii.NewRTree(objs, quasii.RTreeConfig{})
+		},
+	})
+	for qi, q := range queries {
+		want = sortedIDs(oracle.Query(q, want[:0]))
+		if got := sortedIDs(rt.Query(q, nil)); !equalIDs(got, want) {
+			t.Fatalf("rtree-sharded query %d: got %d results, scan %d", qi, len(got), len(want))
+		}
 	}
 }
