@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	quasii-bench [-scale small|medium|large] [-seed N] [-shards P] [-goroutines G] [fig...]
+//	quasii-bench [-scale small|medium|large] [-seed N] [-shards P] [-goroutines G]
+//	             [-workload uniform|clustered|zipf|sequential] [fig...]
 //
 // With no figure arguments, the paper's figures (fig6a fig6b fig7 fig8 fig9
 // fig10 fig11 fig12) run in paper order. The extension experiments gridsweep,
@@ -33,6 +34,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the dataset/workload RNG seed (0 = scale default)")
 	shards := flag.Int("shards", 0, "shard count for the throughput experiment (0 = GOMAXPROCS)")
 	goroutines := flag.Int("goroutines", 0, "max client goroutines for the throughput experiment (0 = 8)")
+	workloadName := flag.String("workload", "uniform",
+		"query pattern for the throughput experiment: uniform, clustered, zipf or sequential")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into (created if missing)")
 	list := flag.Bool("list", false, "list available figures and exit")
 	flag.Usage = usage
@@ -58,6 +61,19 @@ func main() {
 	}
 	scale.Shards = *shards
 	scale.Goroutines = *goroutines
+	validWorkload := false
+	for _, w := range experiments.Workloads {
+		if *workloadName == w {
+			validWorkload = true
+			break
+		}
+	}
+	if !validWorkload {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (want %s)\n",
+			*workloadName, strings.Join(experiments.Workloads, ", "))
+		os.Exit(2)
+	}
+	scale.Workload = *workloadName
 
 	figs := flag.Args()
 	if len(figs) == 0 {
@@ -146,7 +162,8 @@ Paper figures (default when no figure is named, in paper order):
 Extension experiments (run only when named):
   gridsweep  the grid-resolution parameter sweep
   patterns   QUASII vs R-Tree under adaptive-indexing access patterns
-  throughput concurrent q/s: sharded engine vs global-mutex QUASII (-shards, -goroutines)
+  throughput concurrent q/s: sharded engine vs global-mutex QUASII
+             (-shards, -goroutines, -workload uniform|clustered|zipf|sequential)
 
 Flags:
 `)

@@ -1,0 +1,102 @@
+// Command quasii-loadgen drives HTTP load against a running quasii-serve,
+// optionally validating every response against a local scan oracle. It is
+// the client half of the serving story: concurrent clients, the full
+// workload-pattern roster of the adaptive-indexing literature, mixed
+// read/write traffic, and well-behaved 429 backoff.
+//
+// Usage:
+//
+//	quasii-loadgen [-addr http://localhost:8080] [-clients 8] [-queries 10000]
+//	               [-workload uniform|clustered|zipf|sequential]
+//	               [-selectivity 1e-3] [-skew 1.2] [-query-seed 2]
+//	               [-write-every 0] [-oracle] [-n 200000] [-dataset uniform]
+//	               [-seed 1] [-retries 100]
+//
+// With -oracle, the generator rebuilds the server's dataset locally (match
+// -n, -dataset and -seed to the quasii-serve flags) and compares every
+// response against a full scan; any mismatch makes the run exit non-zero.
+// -write-every N mixes one insert→verify→delete cycle into every Nth query.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	quasii "repro"
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "base URL of the quasii-serve target")
+	clients := flag.Int("clients", 8, "concurrent client goroutines")
+	queries := flag.Int("queries", 10000, "number of range queries to issue")
+	workloadName := flag.String("workload", "uniform",
+		"query workload: uniform, clustered, zipf or sequential")
+	selectivity := flag.Float64("selectivity", 1e-3, "query volume as a fraction of the universe")
+	skew := flag.Float64("skew", 1.2, "zipf workload skew")
+	querySeed := flag.Int64("query-seed", 2, "workload RNG seed")
+	writeEvery := flag.Int("write-every", 0,
+		"mix an insert+delete cycle into every Nth query (0 = read-only)")
+	oracle := flag.Bool("oracle", false,
+		"validate responses against a local scan oracle (requires matching -n/-dataset/-seed)")
+	n := flag.Int("n", 200000, "server dataset size (for -oracle and -workload clustered)")
+	datasetName := flag.String("dataset", "uniform", "server dataset generator: uniform or neuro")
+	seed := flag.Int64("seed", 1, "server dataset RNG seed")
+	retries := flag.Int("retries", 100, "max 429 retries per request")
+	flag.Parse()
+
+	// The dataset is only materialized when something needs it: the oracle,
+	// or the clustered workload (whose cluster centers sit on the data).
+	var data []quasii.Object
+	loadData := func() []quasii.Object {
+		if data != nil {
+			return data
+		}
+		switch *datasetName {
+		case "uniform":
+			data = quasii.UniformDataset(*n, *seed)
+		case "neuro":
+			data = quasii.NeuroDataset(*n, *seed, quasii.NeuroConfig{})
+		default:
+			fmt.Fprintf(os.Stderr, "unknown dataset %q (want uniform or neuro)\n", *datasetName)
+			os.Exit(2)
+		}
+		return data
+	}
+
+	// The same generator path as quasii-bench's throughput experiment, so
+	// serve-side and bench-side runs of one workload name measure the same
+	// query pattern.
+	var wdata []quasii.Object
+	if *workloadName == "clustered" {
+		wdata = loadData()
+	}
+	boxes, err := experiments.WorkloadQueries(*workloadName, wdata, *queries, *selectivity, *skew, *querySeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := bench.LoadgenConfig{
+		BaseURL:    *addr,
+		Clients:    *clients,
+		Queries:    boxes,
+		WriteEvery: *writeEvery,
+		MaxRetries: *retries,
+	}
+	if *oracle {
+		sc := quasii.NewScan(loadData())
+		cfg.Oracle = func(q geom.Box) []int32 { return sc.Query(q, nil) }
+	}
+
+	fmt.Printf("quasii-loadgen: %d %s queries (sel %g) against %s, %d clients, write-every %d, oracle %v\n",
+		len(boxes), *workloadName, *selectivity, *addr, *clients, *writeEvery, *oracle)
+	res := bench.RunLoadgen(cfg)
+	bench.PrintLoadgen(os.Stdout, res)
+	if res.Mismatches > 0 || res.Errors > 0 {
+		os.Exit(1)
+	}
+}

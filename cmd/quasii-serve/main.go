@@ -1,0 +1,83 @@
+// Command quasii-serve runs the HTTP/JSON query service over a sharded
+// QUASII index: the paper's in-process adaptive index turned into a network
+// server with request batching, admission control, live updates, and
+// metrics.
+//
+// Usage:
+//
+//	quasii-serve [-addr :8080] [-n 200000] [-dataset uniform|neuro] [-seed 1]
+//	             [-shards P] [-workers W] [-batch-window 2ms] [-batch-limit 64]
+//	             [-max-inflight 1024] [-exec-slots 0] [-flush-every 4096]
+//
+// The server builds the requested synthetic dataset (the same generators
+// the paper's evaluation uses, so a quasii-loadgen started with matching
+// -n/-dataset/-seed can validate every response against a local oracle)
+// and serves:
+//
+//	POST /query    {"min":[x,y,z],"max":[x,y,z]}             range query
+//	GET  /query?min=x,y,z&max=x,y,z                          curl-friendly form
+//	POST /batch    {"queries":[{...},...]}                   many queries, one fan-out
+//	POST /knn      {"point":[x,y,z],"k":5}                   k nearest neighbors
+//	POST /insert   {"objects":[{"id":7,"min":...,"max":...}]} live insert
+//	POST /delete   {"id":7,"hint":{...}}                     live delete
+//	GET  /stats                                              metrics and engine state
+//	GET  /healthz                                            liveness
+//
+// Overload answers 429 (with Retry-After) once -max-inflight requests are
+// in flight; see the README's Serving section for the knobs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	quasii "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	n := flag.Int("n", 200000, "synthetic dataset size")
+	datasetName := flag.String("dataset", "uniform", "dataset generator: uniform or neuro")
+	seed := flag.Int64("seed", 1, "dataset RNG seed")
+	shards := flag.Int("shards", 0, "spatial shard count (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "shard worker-pool bound (0 = auto)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond,
+		"coalescing window for singleton /query requests (negative disables)")
+	batchLimit := flag.Int("batch-limit", 64, "max queries coalesced into one batch")
+	maxInFlight := flag.Int("max-inflight", 1024, "admission budget; excess requests get 429")
+	execSlots := flag.Int("exec-slots", 0, "concurrent index executions (0 = GOMAXPROCS)")
+	flushEvery := flag.Int("flush-every", 4096, "fold pending updates in after this many (0 = never)")
+	flag.Parse()
+
+	var data []quasii.Object
+	switch *datasetName {
+	case "uniform":
+		data = quasii.UniformDataset(*n, *seed)
+	case "neuro":
+		data = quasii.NeuroDataset(*n, *seed, quasii.NeuroConfig{})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q (want uniform or neuro)\n", *datasetName)
+		os.Exit(2)
+	}
+
+	t0 := time.Now()
+	ix := quasii.NewSharded(data, quasii.ShardedConfig{Shards: *shards, Workers: *workers})
+	fmt.Printf("quasii-serve: %d %s objects in %d shards (built in %v, GOMAXPROCS %d)\n",
+		len(data), *datasetName, ix.NumShards(), time.Since(t0).Round(time.Millisecond),
+		runtime.GOMAXPROCS(0))
+	fmt.Printf("listening on %s  batch-window %v  batch-limit %d  max-inflight %d  flush-every %d\n",
+		*addr, *batchWindow, *batchLimit, *maxInFlight, *flushEvery)
+
+	err := quasii.Serve(*addr, ix, quasii.ServerConfig{
+		BatchWindow: *batchWindow,
+		BatchLimit:  *batchLimit,
+		MaxInFlight: *maxInFlight,
+		ExecSlots:   *execSlots,
+		FlushEvery:  *flushEvery,
+	})
+	fmt.Fprintf(os.Stderr, "quasii-serve: %v\n", err)
+	os.Exit(1)
+}

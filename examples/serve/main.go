@@ -1,0 +1,119 @@
+// Serving demo: the sharded QUASII engine behind the HTTP/JSON service,
+// driven end to end from one process — the same requests the README's curl
+// examples show, including a live insert/delete round trip and the /stats
+// counters that expose batching and admission control at work.
+//
+// Run with: go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	quasii "repro"
+)
+
+func post(url string, body string) map[string]interface{} {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %d %v", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+func get(url string) map[string]interface{} {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+func main() {
+	// A sharded QUASII index over the paper's uniform dataset, served over
+	// HTTP with a short batching window.
+	data := quasii.UniformDataset(100000, 1)
+	ix := quasii.NewSharded(data, quasii.ShardedConfig{})
+	srv := quasii.NewServer(ix, quasii.ServerConfig{
+		BatchWindow: 500 * time.Microsecond,
+		FlushEvery:  1024,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { log.Fatal(srv.Serve(l)) }()
+	base := "http://" + l.Addr().String()
+	fmt.Printf("serving %d objects in %d shards at %s\n\n", len(data), ix.NumShards(), base)
+
+	// Liveness.
+	fmt.Println("GET /healthz      ->", get(base+"/healthz"))
+
+	// One range query; the GET form is what you would curl.
+	q := get(base + "/query?min=0,0,0&max=500,500,500")
+	fmt.Println("GET /query        ->", int(q["count"].(float64)), "objects in [0,500]^3")
+
+	// k nearest neighbors of the universe center.
+	knn := post(base+"/knn", `{"point":[5000,5000,5000],"k":3}`)
+	fmt.Println("POST /knn         ->", knn["neighbors"])
+
+	// Live update round trip: insert, see it, delete, see it gone.
+	post(base+"/insert", `{"objects":[{"id":900001,"min":[1,1,1],"max":[2,2,2]}]}`)
+	after := post(base+"/query", `{"min":[0,0,0],"max":[3,3,3]}`)
+	fmt.Println("POST /insert      -> id 900001 visible:", contains(after, 900001))
+	post(base+"/delete", `{"id":900001,"hint":{"min":[1,1,1],"max":[2,2,2]}}`)
+	gone := post(base+"/query", `{"min":[0,0,0],"max":[3,3,3]}`)
+	fmt.Println("POST /delete      -> id 900001 visible:", contains(gone, 900001))
+
+	// A burst of concurrent singleton queries: the server coalesces them
+	// into QueryBatch fan-outs (see the batcher counters below).
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post(base+"/query", `{"min":[2000,2000,2000],"max":[2600,2600,2600]}`)
+		}()
+	}
+	wg.Wait()
+
+	// A /batch request answers many queries in one fan-out.
+	batch := post(base+"/batch",
+		`{"queries":[{"min":[0,0,0],"max":[900,900,900]},{"min":[5000,5000,5000],"max":[5900,5900,5900]}]}`)
+	fmt.Println("POST /batch       ->", len(batch["results"].([]interface{})), "result sets")
+
+	// The metrics endpoint: per-endpoint latency, batching, admission.
+	st := get(base + "/stats")
+	b := st["batcher"].(map[string]interface{})
+	fmt.Printf("GET /stats        -> %v batches for %v coalesced queries (avg %.1f/batch)\n",
+		b["batches"], b["batched_queries"], b["avg_batch_size"])
+	fmt.Println("                     index:", st["index"])
+}
+
+func contains(resp map[string]interface{}, id float64) bool {
+	for _, v := range resp["ids"].([]interface{}) {
+		if v.(float64) == id {
+			return true
+		}
+	}
+	return false
+}

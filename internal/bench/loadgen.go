@@ -1,0 +1,287 @@
+// HTTP load generation against the serving subsystem (internal/server).
+// The driver is shared by cmd/quasii-loadgen and the benchmarks: a pool of
+// client goroutines drains a query workload over HTTP, optionally mixes in
+// insert/delete cycles, validates every response against a local oracle,
+// and retries 429 backpressure rejections with exponential backoff — the
+// well-behaved-client half of the admission-control story.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// LoadgenWriteBase is the first object ID the load generator uses for its
+// own inserts. Response IDs at or above it are loadgen-written objects
+// (possibly another client's in-flight ones) and are excluded from the
+// oracle comparison; serve datasets must stay below it.
+const LoadgenWriteBase int32 = 1 << 30
+
+// LoadgenConfig parameterizes one load-generation run.
+type LoadgenConfig struct {
+	// BaseURL of the target server, e.g. "http://localhost:8080".
+	BaseURL string
+	// Clients is the number of concurrent client goroutines (min 1).
+	Clients int
+	// Queries is the shared range-query workload the clients drain.
+	Queries []geom.Box
+	// Oracle, when non-nil, returns the expected IDs for a query over the
+	// server's base dataset. Responses are compared after filtering out
+	// loadgen-written IDs (≥ LoadgenWriteBase); a difference counts as a
+	// mismatch.
+	Oracle func(q geom.Box) []int32
+	// WriteEvery mixes one insert→verify→delete→verify cycle into every
+	// Nth query a client executes. 0 keeps the run read-only.
+	WriteEvery int
+	// MaxRetries bounds the 429 retries per request. 0 selects 100.
+	MaxRetries int
+	// Client overrides the HTTP client (nil selects a pooled default).
+	Client *http.Client
+}
+
+// LoadgenResult aggregates one run.
+type LoadgenResult struct {
+	Clients    int
+	Queries    int             // range queries answered 200
+	Writes     int             // insert→delete cycles completed
+	Rejected   int64           // 429 responses absorbed by retry
+	Errors     int64           // non-retryable failures (transport, 5xx, retries exhausted)
+	Mismatches int64           // oracle disagreements
+	Wall       time.Duration   // wall clock for the whole run
+	Latencies  []time.Duration // per successful range query, all clients
+}
+
+// QPS returns successful range queries per second of wall time.
+func (r *LoadgenResult) QPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Queries) / r.Wall.Seconds()
+}
+
+// loadgenClient wraps the per-request mechanics: JSON round-trip plus
+// bounded-backoff retry on 429.
+type loadgenClient struct {
+	cfg      *LoadgenConfig
+	client   *http.Client
+	rejected *atomic.Int64
+	errors   *atomic.Int64
+}
+
+// post sends body and decodes the 200 answer into out, retrying 429s with
+// exponential backoff (1ms doubling, capped at 50ms). It reports success.
+func (lc *loadgenClient) post(path string, body, out interface{}) bool {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		lc.errors.Add(1)
+		return false
+	}
+	backoff := time.Millisecond
+	maxRetries := lc.cfg.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 100
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := lc.client.Post(lc.cfg.BaseURL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			lc.errors.Add(1)
+			return false
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lc.rejected.Add(1)
+			if attempt >= maxRetries {
+				lc.errors.Add(1)
+				return false
+			}
+			time.Sleep(backoff)
+			if backoff < 50*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		ok := resp.StatusCode == http.StatusOK
+		if ok && out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				ok = false
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		resp.Body.Close()
+		if !ok {
+			lc.errors.Add(1)
+		}
+		return ok
+	}
+}
+
+// RunLoadgen drives the workload and returns the aggregated result. The
+// run itself never fails — transport errors, rejections and mismatches are
+// counted, not returned — so callers can assert on the counters.
+func RunLoadgen(cfg LoadgenConfig) *LoadgenResult {
+	clients := cfg.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	httpClient := cfg.Client
+	if httpClient == nil {
+		httpClient = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: clients,
+			},
+		}
+	}
+	res := &LoadgenResult{Clients: clients}
+	var queriesOK, writesOK, rejected, errors, mismatches atomic.Int64
+	perClient := make([][]time.Duration, clients)
+	// Per-run nonce for write IDs: a run that dies between insert and
+	// delete leaves its object on a long-lived server, and a later run
+	// reusing the same ID would fail its delete-verification through no
+	// fault of the server. Within a run IDs stay unique because each query
+	// index is drained exactly once.
+	nonce := int32(time.Now().UnixNano() & (1<<28 - 1))
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lc := &loadgenClient{cfg: &cfg, client: httpClient, rejected: &rejected, errors: &errors}
+			lats := make([]time.Duration, 0, len(cfg.Queries)/clients+1)
+			for {
+				qi := int(next.Add(1)) - 1
+				if qi >= len(cfg.Queries) {
+					break
+				}
+				q := cfg.Queries[qi]
+				var qresp server.QueryResponse
+				qt0 := time.Now()
+				if !lc.post("/query", server.QueryRequest{BoxJSON: server.BoxToJSON(q)}, &qresp) {
+					continue
+				}
+				lats = append(lats, time.Since(qt0))
+				queriesOK.Add(1)
+				if cfg.Oracle != nil && !oracleMatch(qresp.IDs, cfg.Oracle(q)) {
+					mismatches.Add(1)
+				}
+				if cfg.WriteEvery > 0 && qi%cfg.WriteEvery == 0 {
+					if lc.writeCycle(q, nonce+int32(qi), cfg.Oracle, &mismatches) {
+						writesOK.Add(1)
+					}
+				}
+			}
+			perClient[c] = lats
+		}(c)
+	}
+	wg.Wait()
+	res.Wall = time.Since(t0)
+	for _, lats := range perClient {
+		res.Latencies = append(res.Latencies, lats...)
+	}
+	res.Queries = int(queriesOK.Load())
+	res.Writes = int(writesOK.Load())
+	res.Rejected = rejected.Load()
+	res.Errors = errors.Load()
+	res.Mismatches = mismatches.Load()
+	return res
+}
+
+// writeCycle inserts a small object at the query's center, verifies
+// read-your-write, deletes it, and verifies it is gone. The object's ID is
+// LoadgenWriteBase plus the run nonce plus the query index (unique within
+// a run, collision-resistant across runs against the same server).
+func (lc *loadgenClient) writeCycle(q geom.Box, id int32, oracle func(geom.Box) []int32, mismatches *atomic.Int64) bool {
+	obj := geom.Object{Box: geom.BoxAt(q.Center(), 1), ID: LoadgenWriteBase + id}
+	var iresp server.InsertResponse
+	if !lc.post("/insert", server.InsertRequest{
+		Objects: []server.ObjectJSON{{ID: obj.ID, BoxJSON: server.BoxToJSON(obj.Box)}},
+	}, &iresp) {
+		return false
+	}
+	var qresp server.QueryResponse
+	if !lc.post("/query", server.QueryRequest{BoxJSON: server.BoxToJSON(obj.Box)}, &qresp) {
+		return false
+	}
+	if !containsID(qresp.IDs, obj.ID) {
+		mismatches.Add(1)
+	}
+	if oracle != nil && !oracleMatch(qresp.IDs, oracle(obj.Box)) {
+		mismatches.Add(1)
+	}
+	var dresp server.DeleteResponse
+	if !lc.post("/delete", server.DeleteRequest{ID: obj.ID, Hint: server.BoxToJSON(obj.Box)}, &dresp) {
+		return false
+	}
+	if !dresp.Deleted {
+		mismatches.Add(1)
+		return false
+	}
+	if !lc.post("/query", server.QueryRequest{BoxJSON: server.BoxToJSON(obj.Box)}, &qresp) {
+		return false
+	}
+	if containsID(qresp.IDs, obj.ID) {
+		mismatches.Add(1)
+	}
+	return true
+}
+
+// oracleMatch compares a response against the oracle's expected base IDs,
+// ignoring loadgen-written IDs (other clients' in-flight objects).
+func oracleMatch(got, want []int32) bool {
+	base := make([]int32, 0, len(got))
+	for _, id := range got {
+		if id < LoadgenWriteBase {
+			base = append(base, id)
+		}
+	}
+	sort.Slice(base, func(i, j int) bool { return base[i] < base[j] })
+	wantSorted := append([]int32(nil), want...)
+	sort.Slice(wantSorted, func(i, j int) bool { return wantSorted[i] < wantSorted[j] })
+	if len(base) != len(wantSorted) {
+		return false
+	}
+	for i := range base {
+		if base[i] != wantSorted[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsID(ids []int32, id int32) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// PrintLoadgen writes the run summary: throughput, the latency
+// distribution, and the backpressure/validation counters.
+func PrintLoadgen(w io.Writer, r *LoadgenResult) {
+	fmt.Fprintf(w, "%d clients, %d queries ok, %d write cycles in %v -> %.0f queries/s\n",
+		r.Clients, r.Queries, r.Writes, r.Wall.Round(time.Millisecond), r.QPS())
+	fmt.Fprintf(w, "latency: mean %v  p50 %v  p95 %v  p99 %v  max %v\n",
+		stats.Mean(r.Latencies), stats.Percentile(r.Latencies, 50),
+		stats.Percentile(r.Latencies, 95), stats.Percentile(r.Latencies, 99),
+		stats.Max(r.Latencies))
+	fmt.Fprintf(w, "backpressure: %d rejections absorbed; %d errors, %d oracle mismatches\n",
+		r.Rejected, r.Errors, r.Mismatches)
+}

@@ -50,8 +50,11 @@ func (ix *Index) KNN(p geom.Point, k int) []Neighbor {
 		}
 		side *= 2
 	}
-	if len(pos) == 0 {
-		// p is far outside the data; widen to everything.
+	if len(pos) < k {
+		// p is far outside the data (or k is close to n): the capped probe
+		// cube ran out before collecting k candidates, and a partial
+		// candidate set is not necessarily the nearest one. Widen to
+		// everything so the ranking below is exact.
 		pos = ix.queryPositions(span.Expand(geom.Point{1, 1, 1}), pos[:0])
 	}
 	nn := ix.rank(pos, p, k)

@@ -48,6 +48,45 @@ type Scale struct {
 	// concurrent client count (0 = 8).
 	Shards     int
 	Goroutines int
+	// Workload selects the query pattern for the Throughput experiment:
+	// "uniform" (default), "clustered", "zipf" or "sequential" — the access
+	// patterns of the adaptive-indexing literature (see internal/workload).
+	Workload string
+}
+
+// Workloads lists the valid Scale.Workload values.
+var Workloads = []string{"uniform", "clustered", "zipf", "sequential"}
+
+// WorkloadQueries generates n queries of the named pattern over the
+// universe with the paper's parameterization (clustered centers sit on
+// data, as the paper's workload does; skew ≤ 0 selects 1.2). It is shared
+// by the throughput experiment and cmd/quasii-loadgen so both sides
+// measure the same workloads.
+func WorkloadQueries(name string, data []geom.Object, n int, sel, skew float64, seed int64) ([]geom.Box, error) {
+	if skew <= 0 {
+		skew = 1.2
+	}
+	switch name {
+	case "", "uniform":
+		return workload.Uniform(dataset.Universe(), n, sel, seed), nil
+	case "clustered":
+		// 5 clusters as in the paper; round perCluster up and truncate so
+		// the caller gets exactly n queries.
+		perCluster := (n + 4) / 5
+		if perCluster < 1 {
+			perCluster = 1
+		}
+		qs := workload.ClusteredOn(dataset.Universe(), data, 5, perCluster, sel, clusterSigma, seed)
+		if len(qs) > n {
+			qs = qs[:n]
+		}
+		return qs, nil
+	case "zipf":
+		return workload.Zipf(dataset.Universe(), n, sel, skew, seed), nil
+	case "sequential":
+		return workload.Sequential(dataset.Universe(), n, sel, 0), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q (want uniform, clustered, zipf or sequential)", name)
 }
 
 // Small is the test/bench scale: fast enough for go test.

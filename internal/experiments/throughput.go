@@ -15,7 +15,6 @@ import (
 	"repro/internal/rtree"
 	"repro/internal/shard"
 	"repro/internal/syncidx"
-	"repro/internal/workload"
 )
 
 // Throughput runs the uniform workload at increasing client counts against
@@ -30,7 +29,10 @@ import (
 func Throughput(w io.Writer, sc Scale) (*Result, error) {
 	r := &Result{Figure: "throughput"}
 	data := uniformData(sc)
-	queries := workload.Uniform(dataset.Universe(), sc.UniformQueries, selUniform, sc.Seed+200)
+	queries, err := WorkloadQueries(sc.Workload, data, sc.UniformQueries, selUniform, 0, sc.Seed+200)
+	if err != nil {
+		return nil, err
+	}
 
 	shards := sc.Shards
 	if shards < 1 {
@@ -56,8 +58,12 @@ func Throughput(w io.Writer, sc Scale) (*Result, error) {
 		}},
 	}
 
-	fmt.Fprintf(w, "  uniform dataset n=%d, %d queries, selectivity %g, up to %d clients, %d shards\n\n",
-		len(data), len(queries), selUniform, maxG, shards)
+	wl := sc.Workload
+	if wl == "" {
+		wl = "uniform"
+	}
+	fmt.Fprintf(w, "  uniform dataset n=%d, %d %s queries, selectivity %g, up to %d clients, %d shards\n\n",
+		len(data), len(queries), wl, selUniform, maxG, shards)
 
 	// Client counts: powers of two up to maxG, always ending at maxG itself
 	// (so -goroutines 6 actually measures 1, 2, 4 and 6 clients).

@@ -1,0 +1,61 @@
+// Admission control: overload must turn into fast 429s, not into goroutine
+// pile-up. Two bounds compose:
+//
+//   - MaxInFlight caps the requests admitted at all (parked in the batching
+//     window, waiting for an execution slot, or executing). A request
+//     arriving beyond the cap is rejected immediately with 429 — the
+//     cheapest possible path, one atomic add — so an overloaded server
+//     degrades into a fast rejection machine instead of an OOM.
+//   - A small execution-slot semaphore serializes the heavy index work
+//     (QueryBatch fan-outs, kNN probes, update routing). Admitted requests
+//     beyond the slot count park on the semaphore; the bound on how many
+//     can park is exactly MaxInFlight.
+package server
+
+import "sync/atomic"
+
+// admission implements the two-level bound.
+type admission struct {
+	inflight atomic.Int64
+	max      int64
+	rejected atomic.Int64
+	slots    chan struct{}
+}
+
+func newAdmission(maxInFlight int, execSlots int) *admission {
+	return &admission{max: int64(maxInFlight), slots: make(chan struct{}, execSlots)}
+}
+
+// admit reserves an in-flight slot, reporting false (reject with 429) when
+// the server is at capacity. Every successful admit must be paired with a
+// done.
+func (a *admission) admit() bool {
+	if a.inflight.Add(1) > a.max {
+		a.inflight.Add(-1)
+		a.rejected.Add(1)
+		return false
+	}
+	return true
+}
+
+// done releases the in-flight slot.
+func (a *admission) done() { a.inflight.Add(-1) }
+
+// exec runs f while holding one of the execution slots, blocking until one
+// frees up. Only admitted requests call it, so at most MaxInFlight callers
+// ever park here.
+func (a *admission) exec(f func()) {
+	a.slots <- struct{}{}
+	defer func() { <-a.slots }()
+	f()
+}
+
+// stats snapshots the admission state for /stats.
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		InFlight:    a.inflight.Load(),
+		MaxInFlight: a.max,
+		ExecSlots:   cap(a.slots),
+		Rejected:    a.rejected.Load(),
+	}
+}

@@ -1,0 +1,177 @@
+// Wire types of the HTTP/JSON query service. They are shared by the server
+// handlers, the load generator (internal/bench), and the examples, so the
+// two sides cannot drift apart.
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// BoxJSON is a 3-d axis-aligned box on the wire.
+type BoxJSON struct {
+	Min [geom.Dims]float64 `json:"min"`
+	Max [geom.Dims]float64 `json:"max"`
+}
+
+// Box converts to the internal geometry type.
+func (b BoxJSON) Box() geom.Box { return geom.Box{Min: b.Min, Max: b.Max} }
+
+// BoxToJSON converts from the internal geometry type.
+func BoxToJSON(b geom.Box) BoxJSON { return BoxJSON{Min: b.Min, Max: b.Max} }
+
+// validate rejects NaN/Inf coordinates and inverted boxes before they reach
+// the index (an inverted box would silently match nothing; NaN poisons the
+// shard routing comparisons).
+func (b BoxJSON) validate() error {
+	for d := 0; d < geom.Dims; d++ {
+		if math.IsNaN(b.Min[d]) || math.IsInf(b.Min[d], 0) ||
+			math.IsNaN(b.Max[d]) || math.IsInf(b.Max[d], 0) {
+			return fmt.Errorf("box coordinate %d is not finite", d)
+		}
+		if b.Min[d] > b.Max[d] {
+			return fmt.Errorf("box min[%d] > max[%d] (%g > %g)", d, d, b.Min[d], b.Max[d])
+		}
+	}
+	return nil
+}
+
+// ObjectJSON is a spatial object on the wire.
+type ObjectJSON struct {
+	ID int32 `json:"id"`
+	BoxJSON
+}
+
+// Object converts to the internal geometry type.
+func (o ObjectJSON) Object() geom.Object { return geom.Object{Box: o.Box(), ID: o.ID} }
+
+// QueryRequest is the body of POST /query: one range query.
+type QueryRequest struct {
+	BoxJSON
+}
+
+// QueryResponse answers /query.
+type QueryResponse struct {
+	IDs   []int32 `json:"ids"`
+	Count int     `json:"count"`
+}
+
+// BatchRequest is the body of POST /batch: many range queries answered as
+// one QueryBatch fan-out over the shard worker pool.
+type BatchRequest struct {
+	Queries []BoxJSON `json:"queries"`
+}
+
+// BatchResponse answers /batch; Results is indexed like Queries.
+type BatchResponse struct {
+	Results [][]int32 `json:"results"`
+}
+
+// KNNRequest is the body of POST /knn.
+type KNNRequest struct {
+	Point [geom.Dims]float64 `json:"point"`
+	K     int                `json:"k"`
+}
+
+// NeighborJSON is one kNN result on the wire.
+type NeighborJSON struct {
+	ID     int32   `json:"id"`
+	DistSq float64 `json:"dist_sq"`
+}
+
+// KNNResponse answers /knn, nearest first.
+type KNNResponse struct {
+	Neighbors []NeighborJSON `json:"neighbors"`
+}
+
+// InsertRequest is the body of POST /insert.
+type InsertRequest struct {
+	Objects []ObjectJSON `json:"objects"`
+}
+
+// InsertResponse answers /insert. Pending is a lock-free estimate of the
+// inserted objects not yet folded into the indexed arrays (the exact,
+// per-shard-locked count is on /stats; see Config.FlushEvery).
+type InsertResponse struct {
+	Inserted int `json:"inserted"`
+	Pending  int `json:"pending"`
+}
+
+// DeleteRequest is the body of POST /delete. Hint is the box used to locate
+// the object — typically the object's own bounding box.
+type DeleteRequest struct {
+	ID   int32   `json:"id"`
+	Hint BoxJSON `json:"hint"`
+}
+
+// DeleteResponse answers /delete.
+type DeleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse answers /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Objects int    `json:"objects"`
+	Shards  int    `json:"shards"`
+}
+
+// EndpointStats is the per-endpoint slice of /stats: request counts and the
+// latency distribution over a sliding window of recent requests.
+type EndpointStats struct {
+	Count      int64   `json:"count"`
+	Errors     int64   `json:"errors"`
+	Rejected   int64   `json:"rejected"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	MeanMicros int64   `json:"mean_us"`
+	P50Micros  int64   `json:"p50_us"`
+	P95Micros  int64   `json:"p95_us"`
+	P99Micros  int64   `json:"p99_us"`
+}
+
+// BatcherStats reports the query-coalescing behaviour on /stats.
+type BatcherStats struct {
+	Batches        int64   `json:"batches"`
+	BatchedQueries int64   `json:"batched_queries"`
+	AvgBatchSize   float64 `json:"avg_batch_size"`
+	WindowMicros   int64   `json:"window_us"`
+}
+
+// AdmissionStats reports the backpressure state on /stats.
+type AdmissionStats struct {
+	InFlight    int64 `json:"in_flight"`
+	MaxInFlight int64 `json:"max_in_flight"`
+	ExecSlots   int   `json:"exec_slots"`
+	Rejected    int64 `json:"rejected_total"`
+}
+
+// IndexStats reports the shard engine state on /stats.
+type IndexStats struct {
+	Objects     int   `json:"objects"`
+	Shards      int   `json:"shards"`
+	MinShardLen int   `json:"min_shard_len"`
+	MaxShardLen int   `json:"max_shard_len"`
+	OverflowLen int   `json:"overflow_len"`
+	Pending     int   `json:"pending"`
+	Deleted     int   `json:"deleted"`
+	Queries     int   `json:"core_queries"`
+	Cracks      int   `json:"core_cracks"`
+	Slices      int   `json:"core_slices_created"`
+	Tested      int64 `json:"core_objects_tested"`
+}
+
+// StatsResponse answers GET /stats.
+type StatsResponse struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Index         IndexStats               `json:"index"`
+	Admission     AdmissionStats           `json:"admission"`
+	Batcher       BatcherStats             `json:"batcher"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}

@@ -1,0 +1,113 @@
+// Query coalescing: singleton /query requests arriving within a short
+// window are merged into one shard.Index.QueryBatch fan-out. Under high
+// concurrency this replaces N independent walks over the shard set (each
+// taking and releasing per-shard locks) with one batch scheduled across the
+// worker pool — the server-side analogue of group commit. The window is the
+// latency the first query of a batch donates to its successors; keep it a
+// small fraction of the typical query time (the default is 2ms).
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/shard"
+)
+
+// batch is one in-flight coalescing window. Submitters append their box,
+// remember their slot, and block on done; the leader (first submitter)
+// executes the whole batch and closes done.
+type batch struct {
+	boxes   []geom.Box
+	results [][]int32
+	fire    chan struct{} // closed when the batch fills up before the window ends
+	done    chan struct{} // closed after results are populated
+}
+
+// batcher coalesces queries into batches of at most limit boxes per window.
+type batcher struct {
+	ix     *shard.Index
+	adm    *admission
+	window time.Duration
+	limit  int
+
+	mu  sync.Mutex
+	cur *batch
+
+	batches atomic.Int64
+	queries atomic.Int64
+}
+
+func newBatcher(ix *shard.Index, adm *admission, window time.Duration, limit int) *batcher {
+	return &batcher{ix: ix, adm: adm, window: window, limit: limit}
+}
+
+// do answers one query, possibly coalesced with concurrent ones. With a
+// zero window the query executes immediately (still under an execution
+// slot).
+func (b *batcher) do(q geom.Box) []int32 {
+	if b.window <= 0 {
+		var out []int32
+		b.adm.exec(func() { out = b.ix.Query(q, nil) })
+		b.batches.Add(1)
+		b.queries.Add(1)
+		return out
+	}
+	b.mu.Lock()
+	bt := b.cur
+	if bt == nil {
+		bt = &batch{fire: make(chan struct{}), done: make(chan struct{})}
+		b.cur = bt
+		go b.run(bt)
+	}
+	slot := len(bt.boxes)
+	bt.boxes = append(bt.boxes, q)
+	if b.limit > 0 && len(bt.boxes) >= b.limit {
+		// Full before the window closed: detach so the next submitter opens
+		// a fresh batch, and wake the leader early. Detaching under mu
+		// guarantees fire is closed exactly once.
+		b.cur = nil
+		close(bt.fire)
+	}
+	b.mu.Unlock()
+	<-bt.done
+	return bt.results[slot]
+}
+
+// run is the batch leader: it sleeps out the window (or a full batch),
+// detaches the batch, executes it on the shard worker pool, and releases
+// the waiters.
+func (b *batcher) run(bt *batch) {
+	timer := time.NewTimer(b.window)
+	select {
+	case <-timer.C:
+	case <-bt.fire:
+		timer.Stop()
+	}
+	b.mu.Lock()
+	if b.cur == bt {
+		b.cur = nil
+	}
+	boxes := bt.boxes // no appends can arrive after the detach
+	b.mu.Unlock()
+
+	b.adm.exec(func() { bt.results = b.ix.QueryBatch(boxes) })
+	b.batches.Add(1)
+	b.queries.Add(int64(len(boxes)))
+	close(bt.done)
+}
+
+// stats snapshots the coalescing counters for /stats.
+func (b *batcher) stats() BatcherStats {
+	s := BatcherStats{
+		Batches:        b.batches.Load(),
+		BatchedQueries: b.queries.Load(),
+		WindowMicros:   b.window.Microseconds(),
+	}
+	if s.Batches > 0 {
+		s.AvgBatchSize = float64(s.BatchedQueries) / float64(s.Batches)
+	}
+	return s
+}

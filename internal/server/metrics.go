@@ -1,0 +1,64 @@
+// Per-endpoint request metrics: counts plus a sliding latency window whose
+// percentiles internal/stats computes on demand. A fixed-size ring keeps
+// the cost per request at one lock-protected store; /stats pays the sort.
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// latencyWindow is the number of recent samples the percentiles cover.
+const latencyWindow = 2048
+
+// endpointMetrics tracks one endpoint.
+type endpointMetrics struct {
+	mu       sync.Mutex
+	count    int64
+	errors   int64
+	rejected int64
+	ring     [latencyWindow]time.Duration
+	filled   int
+	next     int
+}
+
+// observe records one served request.
+func (m *endpointMetrics) observe(d time.Duration, isError bool) {
+	m.mu.Lock()
+	m.count++
+	if isError {
+		m.errors++
+	}
+	m.ring[m.next] = d
+	m.next = (m.next + 1) % latencyWindow
+	if m.filled < latencyWindow {
+		m.filled++
+	}
+	m.mu.Unlock()
+}
+
+// reject records one 429.
+func (m *endpointMetrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// snapshot computes the endpoint's stats; uptime turns the cumulative count
+// into a rate.
+func (m *endpointMetrics) snapshot(uptime time.Duration) EndpointStats {
+	m.mu.Lock()
+	window := append([]time.Duration(nil), m.ring[:m.filled]...)
+	s := EndpointStats{Count: m.count, Errors: m.errors, Rejected: m.rejected}
+	m.mu.Unlock()
+	if uptime > 0 {
+		s.RatePerSec = float64(s.Count) / uptime.Seconds()
+	}
+	s.MeanMicros = stats.Mean(window).Microseconds()
+	s.P50Micros = stats.Percentile(window, 50).Microseconds()
+	s.P95Micros = stats.Percentile(window, 95).Microseconds()
+	s.P99Micros = stats.Percentile(window, 99).Microseconds()
+	return s
+}

@@ -1,0 +1,461 @@
+// Package server is the network serving subsystem: an HTTP/JSON query
+// service over the sharded parallel engine (internal/shard). It is the
+// layer that turns the adaptive-indexing library into a system handling
+// concurrent traffic:
+//
+//   - /query     one range query; singletons arriving within the batching
+//     window are coalesced into one QueryBatch fan-out (group commit for
+//     reads)
+//   - /batch     many range queries in one request, scheduled across the
+//     shard worker pool
+//   - /knn       k-nearest-neighbor search
+//   - /insert    live inserts, routed to the shard owning each object's tile
+//   - /delete    live deletes (tombstoned immediately, compacted on flush)
+//   - /stats     per-endpoint latency/QPS metrics, admission and batching
+//     counters, aggregated shard/QUASII statistics
+//   - /healthz   liveness
+//
+// Overload never grows goroutines without bound: a fixed admission budget
+// (Config.MaxInFlight) turns excess requests into immediate 429s, and a
+// small execution-slot semaphore keeps the index work itself at hardware
+// parallelism. See admission.go and batcher.go.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/shard"
+)
+
+// Config tunes the serving layer. The zero value is production-usable:
+// a 2ms batching window, 1024 admitted requests, GOMAXPROCS execution
+// slots, and no automatic flushing.
+type Config struct {
+	// BatchWindow is how long the first singleton /query of a batch waits
+	// for companions before executing. 0 selects the 2ms default; negative
+	// disables coalescing (each query executes immediately).
+	BatchWindow time.Duration
+	// BatchLimit caps the queries coalesced into one batch; a full batch
+	// fires before its window ends. 0 selects 64.
+	BatchLimit int
+	// MaxInFlight is the admission budget: the maximum number of requests
+	// admitted concurrently (parked in a batching window, waiting for an
+	// execution slot, or executing). Requests beyond it receive 429
+	// immediately. 0 selects 1024.
+	MaxInFlight int
+	// ExecSlots bounds the requests concurrently executing index work
+	// (batch fan-outs, kNN, updates). 0 selects GOMAXPROCS.
+	ExecSlots int
+	// FlushEvery folds pending updates into the shards' indexed arrays
+	// after every N accepted update objects, bounding the O(pending) scan
+	// cost each query pays. 0 disables automatic flushing (pending objects
+	// are still visible — just served from the append buffers).
+	FlushEvery int
+	// MaxBodyBytes caps a request body. 0 selects 8 MiB.
+	MaxBodyBytes int64
+	// MaxBatch caps queries per /batch request and objects per /insert
+	// request; MaxK caps /knn's k. 0 selects 4096.
+	MaxBatch int
+	MaxK     int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = 2 * time.Millisecond
+	}
+	if cfg.BatchWindow < 0 {
+		cfg.BatchWindow = 0 // batcher treats 0 as "execute immediately"
+	}
+	if cfg.BatchLimit <= 0 {
+		cfg.BatchLimit = 64
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 1024
+	}
+	if cfg.ExecSlots <= 0 {
+		cfg.ExecSlots = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 4096
+	}
+	return cfg
+}
+
+// Server is the HTTP query service. Create it with New, mount Handler into
+// any http.Server (or httptest.Server), or call ListenAndServe.
+type Server struct {
+	ix      *shard.Index
+	cfg     Config
+	adm     *admission
+	bat     *batcher
+	met     map[string]*endpointMetrics
+	mux     *http.ServeMux
+	start   time.Time
+	updates atomic.Int64 // accepted update objects since the last auto-flush
+	pending atomic.Int64 // cheap estimate of unfolded inserts (see /insert)
+}
+
+// New wires a server over the given sharded index.
+func New(ix *shard.Index, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{ix: ix, cfg: cfg, start: time.Now()}
+	s.adm = newAdmission(cfg.MaxInFlight, cfg.ExecSlots)
+	s.bat = newBatcher(ix, s.adm, cfg.BatchWindow, cfg.BatchLimit)
+	s.met = make(map[string]*endpointMetrics)
+	s.mux = http.NewServeMux()
+	s.route("/query", true, []string{http.MethodPost, http.MethodGet}, s.handleQuery)
+	s.route("/batch", true, []string{http.MethodPost}, s.handleBatch)
+	s.route("/knn", true, []string{http.MethodPost}, s.handleKNN)
+	s.route("/insert", true, []string{http.MethodPost}, s.handleInsert)
+	s.route("/delete", true, []string{http.MethodPost}, s.handleDelete)
+	// /stats takes every shard lock, so it goes through admission like any
+	// other request; /healthz stays outside admission but is lock-free, so
+	// a busy-but-healthy server always answers its liveness probe.
+	s.route("/stats", true, []string{http.MethodGet}, s.handleStats)
+	s.route("/healthz", false, []string{http.MethodGet}, s.handleHealthz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe runs the service on addr until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	return s.httpServer(addr).ListenAndServe()
+}
+
+// Serve runs the service on an existing listener (useful for :0 ports).
+func (s *Server) Serve(l net.Listener) error {
+	return s.httpServer(l.Addr().String()).Serve(l)
+}
+
+func (s *Server) httpServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}
+
+// statusWriter records the response status so the metrics wrapper can count
+// errors.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// route registers one endpoint behind method filtering, optional admission
+// control, and latency metrics.
+func (s *Server) route(path string, admit bool, methods []string, h http.HandlerFunc) {
+	name := strings.TrimPrefix(path, "/")
+	m := &endpointMetrics{}
+	s.met[name] = m
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		allowed := false
+		for _, meth := range methods {
+			if r.Method == meth {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			writeJSON(w, http.StatusMethodNotAllowed,
+				ErrorResponse{Error: fmt.Sprintf("method %s not allowed on %s", r.Method, path)})
+			return
+		}
+		if admit {
+			if !s.adm.admit() {
+				m.reject()
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests,
+					ErrorResponse{Error: "server at capacity, retry later"})
+				return
+			}
+			defer s.adm.done()
+		}
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		m.observe(time.Since(t0), sw.status >= 400)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+}
+
+// decodeJSON reads the (size-capped) body into v.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	return json.NewDecoder(r.Body).Decode(v)
+}
+
+// handleQuery answers one range query, coalescing concurrent singletons
+// into QueryBatch fan-outs. GET accepts ?min=x,y,z&max=x,y,z for curl
+// convenience; POST takes a QueryRequest body.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if r.Method == http.MethodGet {
+		box, err := boxFromParams(r)
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		req.BoxJSON = box
+	} else if err := s.decodeJSON(w, r, &req); err != nil {
+		badRequest(w, fmt.Errorf("decoding query: %w", err))
+		return
+	}
+	if err := req.validate(); err != nil {
+		badRequest(w, err)
+		return
+	}
+	ids := s.bat.do(req.Box())
+	if ids == nil {
+		ids = []int32{}
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{IDs: ids, Count: len(ids)})
+}
+
+// boxFromParams parses ?min=x,y,z&max=x,y,z.
+func boxFromParams(r *http.Request) (BoxJSON, error) {
+	var b BoxJSON
+	min, err := parsePoint(r.URL.Query().Get("min"))
+	if err != nil {
+		return b, fmt.Errorf("min: %w", err)
+	}
+	max, err := parsePoint(r.URL.Query().Get("max"))
+	if err != nil {
+		return b, fmt.Errorf("max: %w", err)
+	}
+	b.Min, b.Max = min, max
+	return b, nil
+}
+
+func parsePoint(s string) ([geom.Dims]float64, error) {
+	var p [geom.Dims]float64
+	parts := strings.Split(s, ",")
+	if len(parts) != geom.Dims {
+		return p, fmt.Errorf("want %d comma-separated coordinates, got %q", geom.Dims, s)
+	}
+	for d, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return p, err
+		}
+		p[d] = v
+	}
+	return p, nil
+}
+
+// handleBatch answers many queries as one worker-pool fan-out.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		badRequest(w, fmt.Errorf("decoding batch: %w", err))
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		badRequest(w, fmt.Errorf("batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+	boxes := make([]geom.Box, len(req.Queries))
+	for i, q := range req.Queries {
+		if err := q.validate(); err != nil {
+			badRequest(w, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		boxes[i] = q.Box()
+	}
+	var results [][]int32
+	s.adm.exec(func() { results = s.ix.QueryBatch(boxes) })
+	for i := range results {
+		if results[i] == nil {
+			results[i] = []int32{}
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// handleKNN answers a k-nearest-neighbor query.
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req KNNRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		badRequest(w, fmt.Errorf("decoding knn: %w", err))
+		return
+	}
+	for d := 0; d < geom.Dims; d++ {
+		if math.IsNaN(req.Point[d]) || math.IsInf(req.Point[d], 0) {
+			badRequest(w, fmt.Errorf("point coordinate %d is not finite", d))
+			return
+		}
+	}
+	if req.K <= 0 || req.K > s.cfg.MaxK {
+		badRequest(w, fmt.Errorf("k must be in [1, %d], got %d", s.cfg.MaxK, req.K))
+		return
+	}
+	var nn []NeighborJSON
+	var err error
+	s.adm.exec(func() {
+		found, kerr := s.ix.KNN(geom.Point(req.Point), req.K)
+		err = kerr
+		nn = make([]NeighborJSON, len(found))
+		for i, n := range found {
+			nn[i] = NeighborJSON{ID: n.ID, DistSq: n.DistSq}
+		}
+	})
+	if err != nil {
+		writeJSON(w, http.StatusNotImplemented, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, KNNResponse{Neighbors: nn})
+}
+
+// handleInsert routes new objects into the engine.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		badRequest(w, fmt.Errorf("decoding insert: %w", err))
+		return
+	}
+	if len(req.Objects) == 0 {
+		badRequest(w, errors.New("no objects to insert"))
+		return
+	}
+	if len(req.Objects) > s.cfg.MaxBatch {
+		badRequest(w, fmt.Errorf("insert of %d objects exceeds limit %d", len(req.Objects), s.cfg.MaxBatch))
+		return
+	}
+	objs := make([]geom.Object, len(req.Objects))
+	for i, o := range req.Objects {
+		if err := o.validate(); err != nil {
+			badRequest(w, fmt.Errorf("object %d: %w", i, err))
+			return
+		}
+		objs[i] = o.Object()
+	}
+	var err error
+	s.adm.exec(func() { err = s.ix.Insert(objs...) })
+	if err != nil {
+		writeJSON(w, http.StatusNotImplemented, ErrorResponse{Error: err.Error()})
+		return
+	}
+	// Pending is a lock-free estimate: sampling the engine's exact count
+	// would lock every shard on the insert hot path. /stats reports the
+	// authoritative number.
+	pending := s.pending.Add(int64(len(objs)))
+	s.maybeFlush(len(objs))
+	writeJSON(w, http.StatusOK, InsertResponse{Inserted: len(objs), Pending: int(pending)})
+}
+
+// handleDelete removes one object.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		badRequest(w, fmt.Errorf("decoding delete: %w", err))
+		return
+	}
+	if err := req.Hint.validate(); err != nil {
+		badRequest(w, fmt.Errorf("hint: %w", err))
+		return
+	}
+	var found bool
+	var err error
+	s.adm.exec(func() { found, err = s.ix.Delete(req.ID, req.Hint.Box()) })
+	if err != nil {
+		writeJSON(w, http.StatusNotImplemented, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if found {
+		s.maybeFlush(1)
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: found})
+}
+
+// maybeFlush folds pending updates in once enough have accumulated. The
+// CAS claims the threshold crossing for exactly one caller (a racing loser
+// leaves the counter above the threshold, so the very next update retries);
+// the counter never goes negative, keeping the flush cadence at FlushEvery.
+func (s *Server) maybeFlush(n int) {
+	if s.cfg.FlushEvery <= 0 {
+		return
+	}
+	f := int64(s.cfg.FlushEvery)
+	if u := s.updates.Add(int64(n)); u >= f && s.updates.CompareAndSwap(u, u-f) {
+		// Detached: the unlucky client that crossed the threshold should not
+		// pay for folding every shard. Still bounded by the exec slots, and
+		// Flush is safe concurrently with everything (per-shard locks).
+		go s.adm.exec(func() {
+			_ = s.ix.Flush()
+			s.pending.Store(0)
+		})
+	}
+}
+
+// handleStats reports the serving metrics and engine state.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(s.start)
+	st := s.ix.Stats()
+	resp := StatsResponse{
+		UptimeSeconds: uptime.Seconds(),
+		Index: IndexStats{
+			Objects:     st.Objects,
+			Shards:      st.Shards,
+			MinShardLen: st.MinShardLen,
+			MaxShardLen: st.MaxShardLen,
+			OverflowLen: st.OverflowLen,
+			Pending:     st.Pending,
+			Deleted:     st.Deleted,
+			Queries:     st.Core.Queries,
+			Cracks:      st.Core.Cracks,
+			Slices:      st.Core.SlicesCreated,
+			Tested:      st.Core.ObjectsTested,
+		},
+		Admission: s.adm.stats(),
+		Batcher:   s.bat.stats(),
+		Endpoints: make(map[string]EndpointStats, len(s.met)),
+	}
+	for name, m := range s.met {
+		resp.Endpoints[name] = m.snapshot(uptime)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is the liveness probe. It must answer even while every
+// shard lock is held by cracking queries, so it reads only lock-free state.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:  "ok",
+		Objects: s.ix.ApproxLen(),
+		Shards:  s.ix.NumShards(),
+	})
+}

@@ -1,4 +1,4 @@
-// Batch scheduling: many queries in flight at once, answered by a fixed
+// Batch scheduling: many queries in flight at once, answered by the shared
 // worker pool. With inter-query parallelism available, each query runs
 // serially over its overlapping shards — per-query fan-out would only add
 // goroutine churn on a saturated pool — so the workers stay busy as long as
@@ -13,40 +13,47 @@ import (
 )
 
 // QueryBatch answers every query and returns the per-query ID sets, indexed
-// like queries. It schedules the batch across the worker pool; results are
+// like queries. The calling goroutine always drains queries itself; helper
+// goroutines join only while slots are free in the engine's global worker
+// pool (the same pool Query's fan-out draws from), so concurrent QueryBatch
+// calls share one hardware-sized bound instead of multiplying. Results are
 // identical to calling Query on each box in order. Safe for concurrent use,
 // including concurrently with Query.
 func (ix *Index) QueryBatch(queries []geom.Box) [][]int32 {
 	results := make([][]int32, len(queries))
-	workers := ix.workers
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	if workers <= 1 {
-		var hit []int
-		for qi := range queries {
-			hit = ix.overlapping(queries[qi], hit[:0])
-			results[qi] = ix.querySerial(hit, queries[qi], nil)
-		}
-		return results
-	}
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var hit []int
-			for {
-				qi := int(next.Add(1)) - 1
-				if qi >= len(queries) {
-					return
-				}
-				hit = ix.overlapping(queries[qi], hit[:0])
-				results[qi] = ix.querySerial(hit, queries[qi], nil)
+	drain := func() {
+		var hit []*shardEntry
+		for {
+			qi := int(next.Add(1)) - 1
+			if qi >= len(queries) {
+				return
 			}
-		}()
+			hit = ix.overlapping(queries[qi], hit[:0])
+			results[qi] = querySerial(hit, queries[qi], nil)
+		}
 	}
+	helpers := ix.workers
+	if helpers > len(queries) {
+		helpers = len(queries)
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < helpers; w++ {
+		// Non-blocking acquire, like Query's fan-out: when the pool is
+		// saturated by concurrent callers, the batch still completes on the
+		// caller's goroutine rather than stacking idle helpers.
+		select {
+		case ix.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				drain()
+				<-ix.sem
+			}()
+		default:
+		}
+	}
+	drain()
 	wg.Wait()
 	return results
 }

@@ -1,0 +1,78 @@
+// K-nearest-neighbor search over the sharded engine: probe shards in order
+// of their distance to the query point, merge the per-shard top-k lists,
+// and stop as soon as the next shard's bounding box is farther than the
+// current k-th neighbor — the classic branch-and-bound pruning, applied at
+// shard granularity.
+package shard
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// NearestNeighborer is the optional interface a sub-index must satisfy for
+// the sharded engine to answer KNN. The default QUASII sub-indexes
+// (core.Index, which answers kNN with expanding range queries) satisfy it.
+type NearestNeighborer interface {
+	KNN(p geom.Point, k int) []core.Neighbor
+}
+
+// ErrNoKNN is returned by KNN when the shard sub-indexes (built by a custom
+// Config.New) do not satisfy NearestNeighborer.
+var ErrNoKNN = errors.New("shard: sub-index does not support KNN (NearestNeighborer)")
+
+// KNN returns the k objects nearest to p (by minimum box distance), closest
+// first, with IDs as a deterministic tie-break. Shards are probed nearest
+// bounding box first, each under its own lock, and probing stops once the
+// next shard's box is farther than the current k-th neighbor. Like every
+// QUASII query, each probe refines the probed shard as a side effect. Safe
+// for concurrent use; concurrent updates may or may not be reflected.
+func (ix *Index) KNN(p geom.Point, k int) ([]core.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	type cand struct {
+		sh *shardEntry
+		d  float64
+	}
+	var cands []cand
+	ix.forEach(func(sh *shardEntry) {
+		cands = append(cands, cand{sh, sh.boundsBox().MinDistSq(p)})
+	})
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+
+	var best []core.Neighbor
+	for _, c := range cands {
+		if len(best) >= k && c.d > best[len(best)-1].DistSq {
+			break
+		}
+		nn, ok := c.sh.sub.(NearestNeighborer)
+		if !ok {
+			return nil, ErrNoKNN
+		}
+		c.sh.mu.Lock()
+		found := nn.KNN(p, k)
+		c.sh.mu.Unlock()
+		best = mergeNeighbors(best, found, k)
+	}
+	return best, nil
+}
+
+// mergeNeighbors merges two distance-sorted neighbor lists into the k best,
+// sorted by distance with ID as tie-break.
+func mergeNeighbors(a, b []core.Neighbor, k int) []core.Neighbor {
+	a = append(a, b...)
+	sort.Slice(a, func(i, j int) bool {
+		if a[i].DistSq != a[j].DistSq {
+			return a[i].DistSq < a[j].DistSq
+		}
+		return a[i].ID < a[j].ID
+	})
+	if len(a) > k {
+		a = a[:k]
+	}
+	return a
+}

@@ -18,11 +18,16 @@
 // Adaptive sub-indexes still crack on every query — the per-shard mutex
 // makes that safe — so the engine turns QUASII's adaptive indexing into a
 // multi-core system without touching the cracking code itself.
+//
+// The engine also accepts live updates (see Insert, Delete, Flush in
+// update.go) and k-nearest-neighbor queries (KNN in knn.go) when the
+// sub-indexes support them, which the default QUASII sub-indexes do.
 package shard
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -53,7 +58,11 @@ type Config struct {
 	Workers int
 	// New constructs the sub-index over one shard's objects. The slice is
 	// owned by the sub-index (QUASII-style: it may be reorganized in
-	// place). Nil selects QUASII with SubConfig.
+	// place). Nil selects QUASII with SubConfig. A custom constructor must
+	// tolerate an empty input slice: the engine builds the overflow shard
+	// for out-of-bounds inserts from no objects. Sub-indexes that
+	// additionally satisfy Updatable (resp. NearestNeighborer) enable
+	// Insert/Delete/Flush (resp. KNN) on the sharded index.
 	New func(data []geom.Object) Queryable
 	// SubConfig configures the default QUASII sub-indexes when New is nil.
 	SubConfig core.Config
@@ -63,36 +72,74 @@ type Config struct {
 // QUASII work counters of every sub-index that exposes them (sub-indexes
 // built by a custom Config.New without a Stats method contribute zeros).
 type Stats struct {
-	Shards      int        // number of shards
-	Objects     int        // total objects indexed
-	MinShardLen int        // objects in the smallest shard
-	MaxShardLen int        // objects in the largest shard
+	Shards      int        // number of spatial shards (excluding overflow)
+	Objects     int        // total live objects indexed (including overflow)
+	MinShardLen int        // objects in the smallest spatial shard
+	MaxShardLen int        // objects in the largest spatial shard
+	OverflowLen int        // objects in the overflow shard (0 when absent)
+	Pending     int        // appended objects not yet folded in (see Flush)
+	Deleted     int        // tombstoned objects awaiting compaction
 	Core        core.Stats // summed QUASII work counters
 }
 
 // statser is satisfied by sub-indexes that report QUASII work counters.
 type statser interface{ Stats() core.Stats }
 
-// shardEntry is one spatial shard: a sub-index behind its own lock, plus the
-// fixed bounding box of the objects assigned to it. The box is computed at
-// build time and never changes — QUASII reorganizes objects in place but
-// never moves them across shards.
+// shardEntry is one spatial shard: a sub-index behind its own lock, the
+// fixed bounding box of the objects assigned to it at build time (the tile,
+// which routes inserts), and the live bounding box actually covered by its
+// objects, which starts as the tile box and grows when an inserted object
+// overhangs it. Queries read the live box lock-free, so it sits behind an
+// atomic pointer and only ever grows (monotone, like QUASII's own maxExt
+// bookkeeping): deletions never shrink it, which is conservative but always
+// correct.
 type shardEntry struct {
-	mu     sync.Mutex
-	sub    Queryable
-	bounds geom.Box
-	n      int
+	mu   sync.Mutex
+	sub  Queryable
+	tile geom.Box // build-time STR tile MBB; immutable, routes inserts
+
+	bounds atomic.Pointer[geom.Box] // live MBB; read lock-free by queries
+}
+
+// boundsBox returns the shard's current live bounding box.
+func (sh *shardEntry) boundsBox() geom.Box { return *sh.bounds.Load() }
+
+// extendBounds grows the live bounding box to also cover b (CAS loop; safe
+// against concurrent extenders and lock-free readers).
+func (sh *shardEntry) extendBounds(b geom.Box) {
+	for {
+		cur := sh.bounds.Load()
+		next := cur.Extend(b)
+		if next == *cur {
+			return
+		}
+		if sh.bounds.CompareAndSwap(cur, &next) {
+			return
+		}
+	}
 }
 
 // Index is a sharded spatial index. It satisfies the module-wide Index
 // interface and is safe for concurrent use.
 type Index struct {
-	shards  []shardEntry
+	shards  []*shardEntry
+	build   func([]geom.Object) Queryable
+	tileMBB geom.Box // union of the build-time tiles; routes inserts
 	workers int
 	// sem globally bounds intra-query fan-out goroutines across all
 	// concurrent Query calls. Slots are never acquired nested, so the
 	// semaphore cannot deadlock.
 	sem chan struct{}
+
+	// overflow is the extra shard holding objects inserted outside tileMBB.
+	// It is created lazily on the first such insert (under ovMu) and read
+	// lock-free by queries; nil until then.
+	ovMu     sync.Mutex
+	overflow atomic.Pointer[shardEntry]
+
+	// count tracks the live object total lock-free (+1 per Insert, -1 per
+	// successful Delete), so liveness probes need not take shard locks.
+	count atomic.Int64
 }
 
 // New partitions data into cfg.Shards spatial shards and builds one
@@ -109,13 +156,15 @@ func New(data []geom.Object, cfg Config) *Index {
 		build = func(objs []geom.Object) Queryable { return core.New(objs, sub) }
 	}
 	parts := partition(data, p)
-	ix := &Index{shards: make([]shardEntry, len(parts))}
+	ix := &Index{shards: make([]*shardEntry, len(parts)), build: build, tileMBB: geom.EmptyBox()}
 	for i, part := range parts {
-		ix.shards[i] = shardEntry{
-			sub:    build(part),
-			bounds: geom.MBB(part),
-			n:      len(part),
+		sh := &shardEntry{
+			sub:  build(part),
+			tile: geom.MBB(part),
 		}
+		sh.bounds.Store(&sh.tile)
+		ix.shards[i] = sh
+		ix.tileMBB = ix.tileMBB.Extend(sh.tile)
 	}
 	ix.workers = cfg.Workers
 	if ix.workers < 1 {
@@ -128,49 +177,54 @@ func New(data []geom.Object, cfg Config) *Index {
 		}
 	}
 	ix.sem = make(chan struct{}, ix.workers)
+	ix.count.Store(int64(len(data)))
 	return ix
 }
 
-// NumShards returns the effective shard count (≤ Config.Shards for small
-// datasets: every shard holds at least one object).
+// NumShards returns the effective spatial shard count (≤ Config.Shards for
+// small datasets: every shard holds at least one object). The overflow
+// shard, when present, is not counted.
 func (ix *Index) NumShards() int { return len(ix.shards) }
 
 // Workers returns the effective worker-pool bound.
 func (ix *Index) Workers() int { return ix.workers }
 
-// ShardBounds returns the bounding box of shard i's objects.
-func (ix *Index) ShardBounds(i int) geom.Box { return ix.shards[i].bounds }
+// ShardBounds returns the live bounding box of shard i's objects.
+func (ix *Index) ShardBounds(i int) geom.Box { return ix.shards[i].boundsBox() }
 
-// Len returns the total number of indexed objects.
+// forEach calls f on every shard including the overflow shard, if any.
+func (ix *Index) forEach(f func(sh *shardEntry)) {
+	for _, sh := range ix.shards {
+		f(sh)
+	}
+	if sh := ix.overflow.Load(); sh != nil {
+		f(sh)
+	}
+}
+
+// Len returns the total number of live objects, locking each shard in turn.
 func (ix *Index) Len() int {
 	n := 0
-	for i := range ix.shards {
-		sh := &ix.shards[i]
+	ix.forEach(func(sh *shardEntry) {
 		sh.mu.Lock()
 		n += sh.sub.Len()
 		sh.mu.Unlock()
-	}
+	})
 	return n
 }
+
+// ApproxLen returns the live object count without taking any locks. It is
+// maintained by New, Insert and Delete and matches Len exactly unless
+// duplicate IDs are deleted (a Delete tombstones every object carrying the
+// ID but decrements the count by one). Use it where blocking behind a
+// cracking query is unacceptable, e.g. liveness probes.
+func (ix *Index) ApproxLen() int { return int(ix.count.Load()) }
 
 // Stats locks each shard in turn and returns the aggregated counters.
 func (ix *Index) Stats() Stats {
 	st := Stats{Shards: len(ix.shards)}
-	for i := range ix.shards {
-		sh := &ix.shards[i]
-		sh.mu.Lock()
-		n := sh.sub.Len()
-		if s, ok := sh.sub.(statser); ok {
-			cs := s.Stats()
-			st.Core.Queries += cs.Queries
-			st.Core.Cracks += cs.Cracks
-			st.Core.CrackedObjects += cs.CrackedObjects
-			st.Core.SlicesCreated += cs.SlicesCreated
-			st.Core.ObjectsTested += cs.ObjectsTested
-			st.Core.ResultObjects += cs.ResultObjects
-		}
-		sh.mu.Unlock()
-		st.Objects += n
+	for i, sh := range ix.shards {
+		n := ix.collect(sh, &st)
 		if i == 0 || n < st.MinShardLen {
 			st.MinShardLen = n
 		}
@@ -178,22 +232,53 @@ func (ix *Index) Stats() Stats {
 			st.MaxShardLen = n
 		}
 	}
+	if sh := ix.overflow.Load(); sh != nil {
+		st.OverflowLen = ix.collect(sh, &st)
+	}
 	return st
 }
 
-// overlapping appends the indexes of all shards whose bounds intersect q.
-func (ix *Index) overlapping(q geom.Box, hit []int) []int {
-	for i := range ix.shards {
-		if ix.shards[i].bounds.Intersects(q) {
-			hit = append(hit, i)
+// collect folds one shard's counters into st and returns its live size.
+func (ix *Index) collect(sh *shardEntry, st *Stats) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := sh.sub.Len()
+	st.Objects += n
+	if s, ok := sh.sub.(statser); ok {
+		cs := s.Stats()
+		st.Core.Queries += cs.Queries
+		st.Core.Cracks += cs.Cracks
+		st.Core.CrackedObjects += cs.CrackedObjects
+		st.Core.SlicesCreated += cs.SlicesCreated
+		st.Core.ObjectsTested += cs.ObjectsTested
+		st.Core.ResultObjects += cs.ResultObjects
+	}
+	if up, ok := sh.sub.(Updatable); ok {
+		st.Pending += up.Pending()
+	}
+	if d, ok := sh.sub.(interface{ Deleted() int }); ok {
+		st.Deleted += d.Deleted()
+	}
+	return n
+}
+
+// overlapping appends every shard whose live bounds intersect q, in shard
+// order with the overflow shard last, so result merge order stays
+// deterministic.
+func (ix *Index) overlapping(q geom.Box, hit []*shardEntry) []*shardEntry {
+	for _, sh := range ix.shards {
+		if sh.boundsBox().Intersects(q) {
+			hit = append(hit, sh)
 		}
+	}
+	if sh := ix.overflow.Load(); sh != nil && sh.boundsBox().Intersects(q) {
+		hit = append(hit, sh)
 	}
 	return hit
 }
 
-// queryShard answers q against shard i under its lock.
-func (ix *Index) queryShard(i int, q geom.Box, out []int32) []int32 {
-	sh := &ix.shards[i]
+// queryShard answers q against one shard under its lock.
+func queryShard(sh *shardEntry, q geom.Box, out []int32) []int32 {
 	sh.mu.Lock()
 	out = sh.sub.Query(q, out)
 	sh.mu.Unlock()
@@ -206,16 +291,16 @@ func (ix *Index) queryShard(i int, q geom.Box, out []int32) []int32 {
 // per-shard results in shard order, so the output order is deterministic.
 // Safe for concurrent use.
 func (ix *Index) Query(q geom.Box, out []int32) []int32 {
-	var hitBuf [16]int
+	var hitBuf [16]*shardEntry
 	hit := ix.overlapping(q, hitBuf[:0])
 	switch len(hit) {
 	case 0:
 		return out
 	case 1:
-		return ix.queryShard(hit[0], q, out)
+		return queryShard(hit[0], q, out)
 	}
 	if ix.workers <= 1 {
-		return ix.querySerial(hit, q, out)
+		return querySerial(hit, q, out)
 	}
 	results := make([][]int32, len(hit))
 	var wg sync.WaitGroup
@@ -228,17 +313,17 @@ func (ix *Index) Query(q geom.Box, out []int32) []int32 {
 			wg.Add(1)
 			go func(k int) {
 				defer wg.Done()
-				results[k] = ix.queryShard(hit[k], q, nil)
+				results[k] = queryShard(hit[k], q, nil)
 				<-ix.sem
 			}(k)
 		default:
-			results[k] = ix.queryShard(hit[k], q, nil)
+			results[k] = queryShard(hit[k], q, nil)
 		}
 	}
 	// The calling goroutine handles the first shard itself instead of
 	// blocking idle, appending straight into out; it holds no semaphore
 	// slot, so the pool bound applies to the spawned goroutines only.
-	out = ix.queryShard(hit[0], q, out)
+	out = queryShard(hit[0], q, out)
 	wg.Wait()
 	// Merge in shard order: the output order is deterministic regardless of
 	// which shards ran on the pool.
@@ -252,9 +337,9 @@ func (ix *Index) Query(q geom.Box, out []int32) []int32 {
 // QueryBatch uses it too: with many in-flight queries, inter-query
 // parallelism already saturates the cores, and per-query fan-out would only
 // add goroutine churn.
-func (ix *Index) querySerial(hit []int, q geom.Box, out []int32) []int32 {
-	for _, i := range hit {
-		out = ix.queryShard(i, q, out)
+func querySerial(hit []*shardEntry, q geom.Box, out []int32) []int32 {
+	for _, sh := range hit {
+		out = queryShard(sh, q, out)
 	}
 	return out
 }

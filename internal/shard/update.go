@@ -1,0 +1,171 @@
+// Live updates on the sharded engine: Insert and Delete route each object
+// to the shard owning its tile and delegate to the sub-index's own update
+// machinery (for the default QUASII sub-indexes that is core.Index.Append /
+// Delete / Flush: arrivals are buffered and scanned by every query until a
+// Flush folds them in, deletions tombstone immediately).
+//
+// # Consistency contract
+//
+// Each object lives in exactly one shard, and every shard-level operation
+// runs under that shard's mutex, so the engine provides per-object
+// atomicity: an Insert or Delete that has returned is visible to every
+// query that starts afterwards. There is no multi-object or cross-shard
+// atomicity — a Query concurrent with a multi-object Insert may observe any
+// prefix of it, and a multi-shard Query locks its shards one at a time, so
+// two overlapping queries racing one update may disagree on whether they
+// saw it. Deletes take effect immediately (tombstones filter results before
+// compaction); inserts are visible immediately too (the pending buffer is
+// scanned by every query) but cost O(pending) per query until Flush folds
+// them into the indexed arrays. Shard bounding boxes only ever grow —
+// deleting the outermost object does not shrink the box — which keeps
+// concurrent routing lock-free and is conservative but always correct.
+package shard
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Updatable is the optional interface a sub-index must satisfy for the
+// sharded engine to accept Insert/Delete/Flush. The default QUASII
+// sub-indexes (core.Index) satisfy it.
+type Updatable interface {
+	Queryable
+	Append(objs ...geom.Object)
+	Delete(id int32, hint geom.Box) bool
+	Flush()
+	Pending() int
+}
+
+// ErrNotUpdatable is returned by Insert, Delete and Flush when the shard
+// sub-indexes (built by a custom Config.New) do not satisfy Updatable.
+var ErrNotUpdatable = errors.New("shard: sub-index does not support updates (Updatable)")
+
+// Insert routes each object to the shard owning its tile — the spatial
+// shard whose build-time tile box is nearest to the object's center, or the
+// overflow shard when the center falls outside the union of all tiles —
+// and appends it there. The shard's live bounding box is grown first, so a
+// query that starts after Insert returns cannot miss the object. Safe for
+// concurrent use. Returns ErrNotUpdatable when the sub-indexes do not
+// support updates.
+func (ix *Index) Insert(objs ...geom.Object) error {
+	for i := range objs {
+		sh, err := ix.route(&objs[i])
+		if err != nil {
+			return err
+		}
+		up, ok := sh.sub.(Updatable)
+		if !ok {
+			return ErrNotUpdatable
+		}
+		sh.extendBounds(objs[i].Box)
+		sh.mu.Lock()
+		up.Append(objs[i])
+		sh.mu.Unlock()
+		ix.count.Add(1)
+	}
+	return nil
+}
+
+// route picks the owning shard for an object: the nearest build-time tile
+// by the object's center (containment means distance zero; ties break in
+// shard order, deterministically), or the overflow shard when the center
+// lies outside the union of all tiles.
+func (ix *Index) route(o *geom.Object) (*shardEntry, error) {
+	c := o.Center()
+	if !ix.tileMBB.ContainsPoint(c) {
+		return ix.ensureOverflow()
+	}
+	var best *shardEntry
+	bestD := math.Inf(1)
+	for _, sh := range ix.shards {
+		if d := sh.tile.MinDistSq(c); d < bestD {
+			best, bestD = sh, d
+			if d == 0 {
+				break
+			}
+		}
+	}
+	return best, nil
+}
+
+// ensureOverflow returns the overflow shard, creating it on first use. The
+// overflow sub-index is built by the same constructor as the spatial shards,
+// over no objects; its bounding box starts empty and grows with inserts.
+func (ix *Index) ensureOverflow() (*shardEntry, error) {
+	if sh := ix.overflow.Load(); sh != nil {
+		return sh, nil
+	}
+	ix.ovMu.Lock()
+	defer ix.ovMu.Unlock()
+	if sh := ix.overflow.Load(); sh != nil {
+		return sh, nil
+	}
+	sub := ix.build(nil)
+	if _, ok := sub.(Updatable); !ok {
+		return nil, ErrNotUpdatable
+	}
+	sh := &shardEntry{sub: sub, tile: geom.EmptyBox()}
+	empty := geom.EmptyBox()
+	sh.bounds.Store(&empty)
+	ix.overflow.Store(sh)
+	return sh, nil
+}
+
+// Delete removes the object with the given ID, using hint (typically the
+// object's own box, as in core.Index.Delete) to locate it: every shard
+// whose live bounds intersect the hint is probed in shard order until one
+// reports the object found. It reports whether an object was deleted. Safe
+// for concurrent use.
+func (ix *Index) Delete(id int32, hint geom.Box) (bool, error) {
+	var hitBuf [16]*shardEntry
+	for _, sh := range ix.overlapping(hint, hitBuf[:0]) {
+		up, ok := sh.sub.(Updatable)
+		if !ok {
+			return false, ErrNotUpdatable
+		}
+		sh.mu.Lock()
+		found := up.Delete(id, hint)
+		sh.mu.Unlock()
+		if found {
+			ix.count.Add(-1)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Flush folds pending inserts into every shard's indexed array and compacts
+// tombstoned deletions, shard by shard under each shard's lock (queries on
+// other shards proceed meanwhile). Queries against a flushed QUASII shard
+// rebuild its refinement incrementally, as after construction.
+func (ix *Index) Flush() error {
+	var err error
+	ix.forEach(func(sh *shardEntry) {
+		up, ok := sh.sub.(Updatable)
+		if !ok {
+			err = ErrNotUpdatable
+			return
+		}
+		sh.mu.Lock()
+		up.Flush()
+		sh.mu.Unlock()
+	})
+	return err
+}
+
+// Pending returns the total number of appended objects not yet folded into
+// the shards' indexed arrays. Sub-indexes without update support count 0.
+func (ix *Index) Pending() int {
+	n := 0
+	ix.forEach(func(sh *shardEntry) {
+		if up, ok := sh.sub.(Updatable); ok {
+			sh.mu.Lock()
+			n += up.Pending()
+			sh.mu.Unlock()
+		}
+	})
+	return n
+}

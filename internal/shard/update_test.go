@@ -1,0 +1,289 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/scan"
+	"repro/internal/workload"
+)
+
+// checkAgainst compares the sharded index with a scan oracle over the given
+// live object set on a mixed query workload.
+func checkAgainst(t *testing.T, ix *Index, live []geom.Object, seed int64) {
+	t.Helper()
+	oracle := scan.New(live)
+	queries := append(
+		workload.Uniform(dataset.Universe(), 40, 1e-3, seed),
+		workload.Uniform(dataset.Universe(), 10, 1e-1, seed+1)...)
+	queries = append(queries, geom.MBB(live))
+	var got, want []int32
+	for qi, q := range queries {
+		got = sortedIDs(ix.Query(q, got[:0]))
+		want = sortedIDs(oracle.Query(q, want[:0]))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d IDs, want %d", qi, len(got), len(want))
+		}
+	}
+	if ix.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(live))
+	}
+	if ix.ApproxLen() != len(live) {
+		t.Fatalf("ApproxLen = %d, want %d", ix.ApproxLen(), len(live))
+	}
+}
+
+// TestInsertDeleteMatchesScan drives inserts (including out-of-bounds ones
+// that must land in the overflow shard) and deletes through the sharded
+// engine, checking against a scan oracle before and after Flush.
+func TestInsertDeleteMatchesScan(t *testing.T) {
+	data := dataset.Uniform(3000, 31)
+	ix := New(data, Config{Shards: 8, SubConfig: core.Config{Tau: 32}})
+	live := append([]geom.Object(nil), data...)
+
+	// Warm the index so inserts land in refined shards.
+	for _, q := range workload.Uniform(dataset.Universe(), 30, 1e-2, 32) {
+		ix.Query(q, nil)
+	}
+
+	// In-bounds inserts: new objects across the universe.
+	extra := dataset.Uniform(400, 33)
+	for i := range extra {
+		extra[i].ID = int32(100000 + i)
+	}
+	if err := ix.Insert(extra...); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	live = append(live, extra...)
+
+	// Out-of-bounds inserts: centers far outside every tile, must route to
+	// the overflow shard and still be found by queries reaching there.
+	var far []geom.Object
+	for i := 0; i < 50; i++ {
+		far = append(far, geom.Object{
+			Box: geom.BoxAt(geom.Point{-5000 - float64(i), -5000, -5000}, 4),
+			ID:  int32(200000 + i),
+		})
+	}
+	if err := ix.Insert(far...); err != nil {
+		t.Fatalf("Insert far: %v", err)
+	}
+	live = append(live, far...)
+	if st := ix.Stats(); st.OverflowLen != len(far) {
+		t.Errorf("OverflowLen = %d, want %d", st.OverflowLen, len(far))
+	}
+	if ix.Pending() == 0 {
+		t.Error("Pending = 0 after inserts, want > 0")
+	}
+	checkAgainst(t, ix, live, 40)
+
+	// Delete a mix of original, inserted, and overflow objects.
+	drop := []geom.Object{data[0], data[1717], extra[7], extra[399], far[0], far[49]}
+	for _, o := range drop {
+		found, err := ix.Delete(o.ID, o.Box)
+		if err != nil {
+			t.Fatalf("Delete(%d): %v", o.ID, err)
+		}
+		if !found {
+			t.Fatalf("Delete(%d) found nothing", o.ID)
+		}
+	}
+	dead := make(map[int32]bool)
+	for _, o := range drop {
+		dead[o.ID] = true
+	}
+	kept := live[:0]
+	for _, o := range live {
+		if !dead[o.ID] {
+			kept = append(kept, o)
+		}
+	}
+	live = kept
+	checkAgainst(t, ix, live, 41)
+
+	// Deleting a missing ID reports false without error.
+	if found, err := ix.Delete(999999, geom.BoxAt(geom.Point{1, 1, 1}, 1)); err != nil || found {
+		t.Errorf("Delete(missing) = %v, %v; want false, nil", found, err)
+	}
+
+	// Flush compacts; results must be unchanged and pending drained.
+	if err := ix.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if p := ix.Pending(); p != 0 {
+		t.Errorf("Pending = %d after Flush, want 0", p)
+	}
+	checkAgainst(t, ix, live, 42)
+}
+
+// TestConcurrentUpdates mixes concurrent inserts, deletes, queries and
+// flushes. Each goroutine owns a private ID range and checks
+// read-your-writes visibility on it; foreign in-flight IDs are ignored.
+// Run with -race.
+func TestConcurrentUpdates(t *testing.T) {
+	data := dataset.Uniform(4000, 51)
+	ix := New(data, Config{Shards: 8, SubConfig: core.Config{Tau: 32}})
+
+	const goroutines = 8
+	const rounds = 30
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int32(1_000_000 + g*10_000)
+			objs := dataset.Uniform(rounds, int64(60+g))
+			for r := 0; r < rounds; r++ {
+				o := objs[r]
+				o.ID = base + int32(r)
+				if err := ix.Insert(o); err != nil {
+					errs <- fmt.Sprintf("g%d insert: %v", g, err)
+					return
+				}
+				ids := ix.Query(o.Box, nil)
+				if !containsID(ids, o.ID) {
+					errs <- fmt.Sprintf("g%d: inserted %d not visible", g, o.ID)
+					return
+				}
+				if r%3 == 0 {
+					found, err := ix.Delete(o.ID, o.Box)
+					if err != nil || !found {
+						errs <- fmt.Sprintf("g%d delete %d: found=%v err=%v", g, o.ID, found, err)
+						return
+					}
+					if containsID(ix.Query(o.Box, nil), o.ID) {
+						errs <- fmt.Sprintf("g%d: deleted %d still visible", g, o.ID)
+						return
+					}
+				}
+				if r%10 == 5 {
+					if err := ix.Flush(); err != nil {
+						errs <- fmt.Sprintf("g%d flush: %v", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func containsID(ids []int32, id int32) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// bruteKNN is the oracle: rank all live objects by box distance to p.
+func bruteKNN(objs []geom.Object, p geom.Point, k int) []core.Neighbor {
+	nn := make([]core.Neighbor, 0, len(objs))
+	for i := range objs {
+		nn = append(nn, core.Neighbor{ID: objs[i].ID, DistSq: objs[i].MinDistSq(p)})
+	}
+	sort.Slice(nn, func(i, j int) bool {
+		if nn[i].DistSq != nn[j].DistSq {
+			return nn[i].DistSq < nn[j].DistSq
+		}
+		return nn[i].ID < nn[j].ID
+	})
+	if len(nn) > k {
+		nn = nn[:k]
+	}
+	return nn
+}
+
+// TestKNNMatchesBruteForce checks sharded KNN against brute force for
+// several k and query points, before and after inserts.
+func TestKNNMatchesBruteForce(t *testing.T) {
+	data := dataset.Uniform(2500, 71)
+	ix := New(data, Config{Shards: 8})
+	live := append([]geom.Object(nil), data...)
+
+	points := []geom.Point{
+		{100, 100, 100}, {5000, 5000, 5000}, {9999, 0, 9999}, {-500, 200, 300},
+	}
+	check := func() {
+		t.Helper()
+		for _, p := range points {
+			for _, k := range []int{1, 5, 60} {
+				got, err := ix.KNN(p, k)
+				if err != nil {
+					t.Fatalf("KNN: %v", err)
+				}
+				want := bruteKNN(live, p, k)
+				if len(got) != len(want) {
+					t.Fatalf("KNN(%v,%d): %d results, want %d", p, k, len(got), len(want))
+				}
+				for i := range got {
+					// Both sides rank by (DistSq, ID) on identical float
+					// arithmetic, so results must agree exactly.
+					if got[i] != want[i] {
+						t.Fatalf("KNN(%v,%d)[%d] = %+v, want %+v", p, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	check()
+
+	extra := dataset.Uniform(200, 72)
+	for i := range extra {
+		extra[i].ID = int32(500000 + i)
+	}
+	if err := ix.Insert(extra...); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	live = append(live, extra...)
+	check()
+
+	// k exceeding the object count returns everything.
+	all, err := ix.KNN(points[0], len(live)+10)
+	if err != nil {
+		t.Fatalf("KNN all: %v", err)
+	}
+	if len(all) != len(live) {
+		t.Errorf("KNN with huge k returned %d, want %d", len(all), len(live))
+	}
+}
+
+// TestNotUpdatable: custom sub-indexes without update (or KNN) support make
+// the respective operations fail with the sentinel errors.
+func TestNotUpdatable(t *testing.T) {
+	data := dataset.Uniform(500, 81)
+	ix := New(data, Config{
+		Shards: 4,
+		New:    func(objs []geom.Object) Queryable { return rtree.New(objs, rtree.Config{}) },
+	})
+	if err := ix.Insert(data[0]); !errors.Is(err, ErrNotUpdatable) {
+		t.Errorf("Insert err = %v, want ErrNotUpdatable", err)
+	}
+	if _, err := ix.Delete(data[0].ID, data[0].Box); !errors.Is(err, ErrNotUpdatable) {
+		t.Errorf("Delete err = %v, want ErrNotUpdatable", err)
+	}
+	if err := ix.Flush(); !errors.Is(err, ErrNotUpdatable) {
+		t.Errorf("Flush err = %v, want ErrNotUpdatable", err)
+	}
+
+	scanIx := New(data, Config{
+		Shards: 4,
+		New:    func(objs []geom.Object) Queryable { return scan.New(objs) },
+	})
+	if _, err := scanIx.KNN(geom.Point{1, 2, 3}, 3); !errors.Is(err, ErrNoKNN) {
+		t.Errorf("KNN err = %v, want ErrNoKNN", err)
+	}
+}

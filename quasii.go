@@ -39,6 +39,7 @@ import (
 	"repro/internal/octree"
 	"repro/internal/rtree"
 	"repro/internal/scan"
+	"repro/internal/server"
 	"repro/internal/sfc"
 	"repro/internal/shard"
 	"repro/internal/syncidx"
@@ -302,7 +303,41 @@ type (
 
 // NewSharded partitions data into spatial shards (STR tiling) and builds one
 // sub-index per shard. The input slice is copied; the caller keeps it.
+// Beyond Query/QueryBatch, the sharded index accepts live updates (Insert,
+// Delete, Flush) and kNN queries when its sub-indexes support them — the
+// default QUASII sub-indexes do.
 func NewSharded(data []Object, cfg ShardedConfig) *Sharded { return shard.New(data, cfg) }
+
+// The network serving subsystem (internal/server): an HTTP/JSON query
+// service over the sharded engine with request batching, admission control
+// (429 backpressure instead of unbounded goroutine growth), live updates,
+// and per-endpoint metrics. See cmd/quasii-serve for the standalone binary
+// and cmd/quasii-loadgen for the matching load generator.
+type (
+	// Server is the HTTP query service. Mount Handler() into any
+	// http.Server, or call ListenAndServe/Serve directly. Endpoints:
+	// /query, /batch, /knn, /insert, /delete, /stats, /healthz.
+	Server = server.Server
+	// ServerConfig tunes batching (BatchWindow, BatchLimit), admission
+	// control (MaxInFlight, ExecSlots), and update folding (FlushEvery).
+	// The zero value is production-usable.
+	ServerConfig = server.Config
+	// ShardUpdatable is the optional sub-index interface behind
+	// Sharded.Insert/Delete/Flush.
+	ShardUpdatable = shard.Updatable
+	// ShardNearestNeighborer is the optional sub-index interface behind
+	// Sharded.KNN.
+	ShardNearestNeighborer = shard.NearestNeighborer
+)
+
+// NewServer wires the HTTP query service over a sharded index.
+func NewServer(ix *Sharded, cfg ServerConfig) *Server { return server.New(ix, cfg) }
+
+// Serve runs the HTTP query service over ix on addr until the listener
+// fails. Equivalent to NewServer(ix, cfg).ListenAndServe(addr).
+func Serve(addr string, ix *Sharded, cfg ServerConfig) error {
+	return server.New(ix, cfg).ListenAndServe(addr)
+}
 
 // Compile-time interface checks: every index satisfies Index.
 var (
