@@ -34,6 +34,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the dataset/workload RNG seed (0 = scale default)")
 	shards := flag.Int("shards", 0, "shard count for the throughput experiment (0 = GOMAXPROCS)")
 	goroutines := flag.Int("goroutines", 0, "max client goroutines for the throughput experiment (0 = 8)")
+	noStats := flag.Bool("nostats", false,
+		"disable QUASII work counters in the throughput experiment (production serving posture)")
 	workloadName := flag.String("workload", "uniform",
 		"query pattern for the throughput experiment: uniform, clustered, zipf or sequential")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into (created if missing)")
@@ -61,6 +63,7 @@ func main() {
 	}
 	scale.Shards = *shards
 	scale.Goroutines = *goroutines
+	scale.NoStats = *noStats
 	validWorkload := false
 	for _, w := range experiments.Workloads {
 		if *workloadName == w {

@@ -8,6 +8,7 @@
 //	quasii-serve [-addr :8080] [-n 200000] [-dataset uniform|neuro] [-seed 1]
 //	             [-shards P] [-workers W] [-batch-window 2ms] [-batch-limit 64]
 //	             [-max-inflight 1024] [-exec-slots 0] [-flush-every 4096]
+//	             [-pprof :6060]
 //
 // The server builds the requested synthetic dataset (the same generators
 // the paper's evaluation uses, so a quasii-loadgen started with matching
@@ -25,11 +26,20 @@
 //
 // Overload answers 429 (with Retry-After) once -max-inflight requests are
 // in flight; see the README's Serving section for the knobs.
+//
+// With -pprof the standard net/http/pprof handlers are served on a separate
+// listener, so production-shaped load (driven by quasii-loadgen) can be
+// profiled live without rebuilding:
+//
+//	quasii-serve -pprof :6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served via -pprof
 	"os"
 	"runtime"
 	"time"
@@ -50,6 +60,8 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 1024, "admission budget; excess requests get 429")
 	execSlots := flag.Int("exec-slots", 0, "concurrent index executions (0 = GOMAXPROCS)")
 	flushEvery := flag.Int("flush-every", 4096, "fold pending updates in after this many (0 = never)")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this address (e.g. :6060); empty disables")
 	flag.Parse()
 
 	var data []quasii.Object
@@ -70,6 +82,18 @@ func main() {
 		runtime.GOMAXPROCS(0))
 	fmt.Printf("listening on %s  batch-window %v  batch-limit %d  max-inflight %d  flush-every %d\n",
 		*addr, *batchWindow, *batchLimit, *maxInFlight, *flushEvery)
+
+	if *pprofAddr != "" {
+		// Profiling runs on its own listener (DefaultServeMux carries the
+		// net/http/pprof handlers) so profile scrapes bypass the query
+		// service's admission control and cannot be 429'd away under the
+		// very load one wants to profile.
+		go func() {
+			fmt.Printf("pprof listening on %s (/debug/pprof/)\n", *pprofAddr)
+			err := http.ListenAndServe(*pprofAddr, nil)
+			fmt.Fprintf(os.Stderr, "quasii-serve: pprof: %v\n", err)
+		}()
+	}
 
 	err := quasii.Serve(*addr, ix, quasii.ServerConfig{
 		BatchWindow: *batchWindow,

@@ -1,0 +1,244 @@
+package colstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func randomObjects(n int, seed int64) []geom.Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]geom.Object, n)
+	for i := range objs {
+		var min, max geom.Point
+		for d := 0; d < geom.Dims; d++ {
+			min[d] = rng.Float64() * 1000
+			max[d] = min[d] + rng.Float64()*100
+		}
+		objs[i] = geom.Object{Box: geom.Box{Min: min, Max: max}, ID: int32(i)}
+	}
+	return objs
+}
+
+func TestRoundTrip(t *testing.T) {
+	objs := randomObjects(500, 1)
+	tab := FromObjects(objs)
+	if tab.Len() != len(objs) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(objs))
+	}
+	back := tab.Objects(nil)
+	for i := range objs {
+		if back[i] != objs[i] {
+			t.Fatalf("row %d: %+v != %+v", i, back[i], objs[i])
+		}
+		if tab.ObjectAt(i) != objs[i] {
+			t.Fatalf("ObjectAt(%d) mismatch", i)
+		}
+	}
+}
+
+func TestMBBAndMaxExtentsMatchAoS(t *testing.T) {
+	objs := randomObjects(300, 2)
+	tab := FromObjects(objs)
+	if got, want := tab.MBB(0, len(objs)), geom.MBB(objs); got != want {
+		t.Fatalf("MBB = %v, want %v", got, want)
+	}
+	if got, want := tab.MBB(50, 120), geom.MBB(objs[50:120]); got != want {
+		t.Fatalf("sub MBB = %v, want %v", got, want)
+	}
+	if got, want := tab.MaxExtents(), geom.MaxExtents(objs); got != want {
+		t.Fatalf("MaxExtents = %v, want %v", got, want)
+	}
+	empty := FromObjects(nil)
+	if !empty.MBB(0, 0).IsEmpty() {
+		t.Fatal("empty MBB should be empty")
+	}
+}
+
+func TestScanIntersectMatchesAoS(t *testing.T) {
+	objs := dataset.Uniform(2000, 3)
+	tab := FromObjects(objs)
+	rng := rand.New(rand.NewSource(4))
+	for qi := 0; qi < 50; qi++ {
+		var a, b geom.Point
+		for d := 0; d < geom.Dims; d++ {
+			a[d] = rng.Float64() * dataset.UniverseSide
+			b[d] = a[d] + rng.Float64()*dataset.UniverseSide/4
+		}
+		q := geom.Box{Min: a, Max: b}
+		lo := rng.Intn(len(objs))
+		hi := lo + rng.Intn(len(objs)-lo)
+		got := tab.ScanIntersect(lo, hi, q, nil)
+		var want []int32
+		for j := lo; j < hi; j++ {
+			if objs[j].Intersects(q) {
+				want = append(want, int32(j))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d [%d,%d): got %d hits, want %d", qi, lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d hit %d: %d != %d", qi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPartitionAllModes(t *testing.T) {
+	for _, mode := range []KeyMode{KeyLower, KeyCenter, KeyUpper} {
+		objs := randomObjects(1000, 5+int64(mode))
+		tab := FromObjects(objs)
+		dim := 1
+		pivot := 500.0
+		mid, left, right := tab.Partition(0, tab.Len(), dim, pivot, mode)
+
+		key := func(i int) float64 { return tab.key(i, dim, mode) }
+		wantLeft, wantRight := NewBounds(), NewBounds()
+		for i := 0; i < mid; i++ {
+			if key(i) >= pivot {
+				t.Fatalf("mode %d: row %d key %g >= pivot on left side", mode, i, key(i))
+			}
+			if tab.Min[dim][i] < wantLeft.Min {
+				wantLeft.Min = tab.Min[dim][i]
+			}
+			if tab.Max[dim][i] > wantLeft.Max {
+				wantLeft.Max = tab.Max[dim][i]
+			}
+		}
+		for i := mid; i < tab.Len(); i++ {
+			if key(i) < pivot {
+				t.Fatalf("mode %d: row %d key %g < pivot on right side", mode, i, key(i))
+			}
+			if tab.Min[dim][i] < wantRight.Min {
+				wantRight.Min = tab.Min[dim][i]
+			}
+			if tab.Max[dim][i] > wantRight.Max {
+				wantRight.Max = tab.Max[dim][i]
+			}
+		}
+		if left != wantLeft || right != wantRight {
+			t.Fatalf("mode %d: bounds (%v, %v), want (%v, %v)", mode, left, right, wantLeft, wantRight)
+		}
+
+		// The partition is a permutation: every original row survives.
+		seen := make(map[int32]bool, tab.Len())
+		for i := 0; i < tab.Len(); i++ {
+			seen[tab.ID[i]] = true
+			if tab.ObjectAt(i).Box != objs[tab.ID[i]].Box {
+				t.Fatalf("mode %d: row %d lanes desynced from ID", mode, i)
+			}
+		}
+		if len(seen) != len(objs) {
+			t.Fatalf("mode %d: %d distinct IDs after partition, want %d", mode, len(seen), len(objs))
+		}
+	}
+}
+
+func TestPartitionSubRange(t *testing.T) {
+	objs := randomObjects(400, 9)
+	tab := FromObjects(objs)
+	before := tab.Objects(nil)
+	lo, hi := 100, 300
+	mid, _, _ := tab.Partition(lo, hi, 0, 500, KeyLower)
+	if mid < lo || mid > hi {
+		t.Fatalf("mid %d outside [%d,%d]", mid, lo, hi)
+	}
+	// Rows outside [lo,hi) are untouched.
+	for i := 0; i < lo; i++ {
+		if tab.ObjectAt(i) != before[i] {
+			t.Fatalf("row %d before range was moved", i)
+		}
+	}
+	for i := hi; i < tab.Len(); i++ {
+		if tab.ObjectAt(i) != before[i] {
+			t.Fatalf("row %d after range was moved", i)
+		}
+	}
+}
+
+func TestKeyRange(t *testing.T) {
+	objs := randomObjects(200, 11)
+	tab := FromObjects(objs)
+	for _, mode := range []KeyMode{KeyLower, KeyCenter, KeyUpper} {
+		min, max := tab.KeyRange(20, 180, 2, mode)
+		wantMin, wantMax := math.Inf(1), math.Inf(-1)
+		for i := 20; i < 180; i++ {
+			v := tab.key(i, 2, mode)
+			if v < wantMin {
+				wantMin = v
+			}
+			if v > wantMax {
+				wantMax = v
+			}
+		}
+		if min != wantMin || max != wantMax {
+			t.Fatalf("mode %d: KeyRange = (%g,%g), want (%g,%g)", mode, min, max, wantMin, wantMax)
+		}
+	}
+}
+
+func TestAppendCompactTruncate(t *testing.T) {
+	objs := randomObjects(100, 13)
+	tab := FromObjects(objs[:50])
+	tab.AppendObjects(objs[50:])
+	if tab.Len() != 100 {
+		t.Fatalf("Len after append = %d", tab.Len())
+	}
+	dead := map[int32]struct{}{3: {}, 40: {}, 99: {}}
+	n := tab.Compact(dead)
+	if n != 97 || tab.Len() != 97 {
+		t.Fatalf("Compact -> %d rows, want 97", n)
+	}
+	for i := 0; i < tab.Len(); i++ {
+		if _, gone := dead[tab.ID[i]]; gone {
+			t.Fatalf("dead ID %d survived compaction", tab.ID[i])
+		}
+	}
+	// Survivor order is preserved.
+	prev := int32(-1)
+	for i := 0; i < tab.Len(); i++ {
+		if tab.ID[i] <= prev {
+			t.Fatalf("order not preserved at row %d", i)
+		}
+		prev = tab.ID[i]
+	}
+	tab.Truncate(10)
+	if tab.Len() != 10 {
+		t.Fatalf("Truncate -> %d rows", tab.Len())
+	}
+}
+
+func TestReloadReusesLanes(t *testing.T) {
+	big := randomObjects(1000, 17)
+	tab := FromObjects(big)
+	lane := &tab.Min[0][0]
+	small := randomObjects(100, 19)
+	tab.Reload(small)
+	if tab.Len() != 100 {
+		t.Fatalf("Len after reload = %d", tab.Len())
+	}
+	if &tab.Min[0][0] != lane {
+		t.Fatal("Reload reallocated lanes despite sufficient capacity")
+	}
+	for i := range small {
+		if tab.ObjectAt(i) != small[i] {
+			t.Fatalf("row %d wrong after reload", i)
+		}
+	}
+}
+
+func TestMinDistSq(t *testing.T) {
+	objs := randomObjects(100, 23)
+	tab := FromObjects(objs)
+	p := geom.Point{500, 500, 500}
+	for i := range objs {
+		if got, want := tab.MinDistSq(i, p), objs[i].MinDistSq(p); got != want {
+			t.Fatalf("row %d: MinDistSq = %g, want %g", i, got, want)
+		}
+	}
+}

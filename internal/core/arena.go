@@ -1,0 +1,37 @@
+package core
+
+import "repro/internal/geom"
+
+// sliceArena allocates slice nodes in fixed-size chunks so refinement does
+// not pay one heap allocation (plus GC scan pressure) per slice. Nodes are
+// never freed individually: a chunk stays reachable while any of its nodes
+// is referenced from the hierarchy, which bounds waste to one chunk of
+// superseded nodes per live chunk in the worst case — small next to the
+// lanes, and refinement converges so the total node count is bounded by
+// O(n/τ) per level.
+type sliceArena struct {
+	chunk []slice
+}
+
+// arenaChunkSize balances allocation amortization against the waste of a
+// partially dead chunk being pinned by a few live nodes.
+const arenaChunkSize = 256
+
+func (a *sliceArena) alloc() *slice {
+	if len(a.chunk) == cap(a.chunk) {
+		a.chunk = make([]slice, 0, arenaChunkSize)
+	}
+	a.chunk = a.chunk[:len(a.chunk)+1]
+	return &a.chunk[len(a.chunk)-1]
+}
+
+// newSlice returns an arena-backed slice node covering data[lo:hi) at the
+// given level.
+func (ix *Index) newSlice(level, lo, hi int, box geom.Box) *slice {
+	s := ix.arena.alloc()
+	s.level, s.lo, s.hi = level, lo, hi
+	s.box = box
+	s.children = nil
+	s.refined = false
+	return s
+}

@@ -16,14 +16,20 @@
 // slice, refinement cracks on a query range extended by the maximum object
 // extent, and the search over sibling slices is extended by the maximum slice
 // extent — the "query extension" technique of Stefanakis et al.
+//
+// Storage is columnar (internal/colstore): the objects live as seven
+// contiguous lanes (per-dimension min/max plus IDs) so the cracking kernel
+// streams one key lane and the bottom-level scan is a branch-light interval
+// filter over contiguous memory. The AoS geom.Object API remains the public
+// surface — New ingests objects into the lanes, queries return IDs.
 package core
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
+	"repro/internal/colstore"
 	"repro/internal/geom"
 )
 
@@ -65,6 +71,12 @@ type Config struct {
 	Stochastic bool
 	// Seed drives the deterministic RNG behind Stochastic. 0 means 1.
 	Seed int64
+	// DisableStats turns off the cumulative work counters so instrumentation
+	// stops taxing the query hot loop (Stats then reports zeros). The index
+	// is single-threaded by contract, so the counters are plain integers —
+	// this flag exists for deployments that wrap every index in a shard lock
+	// and take their metrics at the serving layer instead.
+	DisableStats bool
 }
 
 // DefaultTau is the leaf-slice capacity used by the paper's evaluation.
@@ -72,6 +84,7 @@ const DefaultTau = 60
 
 // Stats counts the work performed by the index since Build. All counters are
 // cumulative and monotone; they exist to explain convergence behaviour.
+// With Config.DisableStats set, every counter stays zero.
 type Stats struct {
 	Queries        int   // queries executed
 	Cracks         int   // two-way partition passes over some sub-array
@@ -83,7 +96,7 @@ type Stats struct {
 
 // slice is one node of QUASII's hierarchy. It covers data[lo:hi) and lives at
 // one level (0 = x, 1 = y, 2 = z). Children, if any, partition [lo,hi) at the
-// next level and are sorted by lo.
+// next level and are sorted by lo. Nodes are arena-allocated (see arena.go).
 type slice struct {
 	level    int
 	lo, hi   int
@@ -113,10 +126,11 @@ func (l *sliceList) noteExtent(s *slice, dim int) {
 	}
 }
 
-// Index is a QUASII index over a data array it owns and reorganizes in place.
+// Index is a QUASII index over a columnar data table it owns and reorganizes
+// in place.
 type Index struct {
 	cfg     Config
-	data    []geom.Object
+	data    *colstore.Table
 	pending []geom.Object      // appended objects not yet indexed (see Append)
 	deleted map[int32]struct{} // tombstoned IDs awaiting compaction (see Delete)
 	root    *sliceList
@@ -124,13 +138,16 @@ type Index struct {
 	maxExt  geom.Point // max object extent per dimension (for query extension)
 	dataMBB geom.Box   // bounding box of all data (for KNN sizing)
 	rng     *rand.Rand // deterministic source for stochastic refinement
+	arena   sliceArena // chunked allocator for slice nodes
+	noStats bool
 	stats   Stats
 }
 
-// New builds a QUASII index over data. The index takes ownership of the
-// slice: queries reorganize it in place. Building is O(n) — it only computes
-// the per-dimension maximum extents and the τ thresholds; all indexing work
-// happens during queries.
+// New builds a QUASII index over data. The objects are ingested into the
+// index's columnar lanes (the input slice is not retained); queries
+// reorganize the lanes in place. Building is O(n) — it only copies the
+// coordinates, computes the per-dimension maximum extents and the τ
+// thresholds; all indexing work happens during queries.
 func New(data []geom.Object, cfg Config) *Index {
 	if cfg.Tau < 1 {
 		cfg.Tau = DefaultTau
@@ -138,16 +155,24 @@ func New(data []geom.Object, cfg Config) *Index {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	ix := &Index{cfg: cfg, data: data, rng: rand.New(rand.NewSource(cfg.Seed))}
-	ix.maxExt = geom.MaxExtents(data)
-	ix.dataMBB = geom.MBB(data)
+	ix := &Index{
+		cfg:     cfg,
+		data:    colstore.FromObjects(data),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		noStats: cfg.DisableStats,
+	}
+	ix.maxExt = ix.data.MaxExtents()
+	ix.dataMBB = ix.data.MBB(0, ix.data.Len())
 	ix.computeTaus()
-	initial := &slice{level: 0, lo: 0, hi: len(data), box: geom.UniverseBox()}
-	ix.root = &sliceList{slices: []*slice{initial}, maxExt: math.Inf(1)}
 	if len(data) == 0 {
 		ix.root = &sliceList{}
+		return ix
 	}
-	ix.stats.SlicesCreated = len(ix.root.slices)
+	initial := ix.newSlice(0, 0, len(data), geom.UniverseBox())
+	ix.root = &sliceList{slices: []*slice{initial}, maxExt: math.Inf(1)}
+	if !ix.noStats {
+		ix.stats.SlicesCreated = len(ix.root.slices)
+	}
 	return ix
 }
 
@@ -155,7 +180,7 @@ func New(data []geom.Object, cfg Config) *Index {
 // r = ceil((n/τ)^(1/d)), τ_{l-1} = r·τ_l (paper, Eq. 1).
 func (ix *Index) computeTaus() {
 	tau := ix.cfg.Tau
-	n := len(ix.data)
+	n := ix.data.Len()
 	parts := float64(n) / float64(tau)
 	if parts < 1 {
 		parts = 1
@@ -172,7 +197,7 @@ func (ix *Index) computeTaus() {
 
 // Len returns the number of live objects: indexed plus appended, minus
 // tombstoned ones.
-func (ix *Index) Len() int { return len(ix.data) + len(ix.pending) - len(ix.deleted) }
+func (ix *Index) Len() int { return ix.data.Len() + len(ix.pending) - len(ix.deleted) }
 
 // Stats returns a snapshot of the cumulative work counters.
 func (ix *Index) Stats() Stats { return ix.stats }
@@ -180,15 +205,16 @@ func (ix *Index) Stats() Stats { return ix.stats }
 // Tau returns the refinement threshold at the given level (0 = x).
 func (ix *Index) Tau(level int) int { return ix.tau[level] }
 
-// key returns the representative coordinate of an object in dimension d.
-func (ix *Index) key(o *geom.Object, d int) float64 {
+// keyMode maps the configured assignment mode onto the storage layer's
+// representative-coordinate selector.
+func (ix *Index) keyMode() colstore.KeyMode {
 	switch ix.cfg.Assign {
 	case AssignCenter:
-		return (o.Min[d] + o.Max[d]) / 2
+		return colstore.KeyCenter
 	case AssignUpper:
-		return o.Max[d]
+		return colstore.KeyUpper
 	default:
-		return o.Min[d]
+		return colstore.KeyLower
 	}
 }
 
@@ -218,25 +244,33 @@ func (ix *Index) extendHi(d int) float64 {
 }
 
 // Query returns the IDs of all objects whose boxes intersect q, appending
-// them to out. As a side effect it refines the index around q.
+// them to out. As a side effect it refines the index around q. On a
+// converged index the call is allocation-free when out has capacity.
 func (ix *Index) Query(q geom.Box, out []int32) []int32 {
 	start := len(out)
 	out = ix.queryPositions(q, out)
 	// The traversal collects array positions (valid for the whole call:
-	// refinement only reorders ranges not yet scanned); translate to IDs,
-	// filtering tombstoned objects.
-	w := start
-	for i := start; i < len(out); i++ {
-		id := ix.data[out[i]].ID
-		if _, dead := ix.deleted[id]; dead {
-			continue
+	// refinement only reorders ranges not yet scanned); translate to IDs in
+	// place, filtering tombstoned objects.
+	ids := ix.data.ID
+	if ix.deleted == nil {
+		for i := start; i < len(out); i++ {
+			out[i] = ids[out[i]]
 		}
-		out[w] = id
-		w++
+	} else {
+		w := start
+		for i := start; i < len(out); i++ {
+			id := ids[out[i]]
+			if _, dead := ix.deleted[id]; dead {
+				continue
+			}
+			out[w] = id
+			w++
+		}
+		out = out[:w]
 	}
-	out = out[:w]
 	// Appended objects are unindexed until Flush; scan them linearly.
-	if !q.IsEmpty() {
+	if len(ix.pending) > 0 && !q.IsEmpty() {
 		for i := range ix.pending {
 			if ix.pending[i].Intersects(q) {
 				out = append(out, ix.pending[i].ID)
@@ -249,8 +283,10 @@ func (ix *Index) Query(q geom.Box, out []int32) []int32 {
 // queryPositions is Query's engine: it appends the data-array positions of
 // matching objects instead of their IDs (used by KNN to reach the boxes).
 func (ix *Index) queryPositions(q geom.Box, out []int32) []int32 {
-	ix.stats.Queries++
-	if len(ix.data) == 0 || q.IsEmpty() {
+	if !ix.noStats {
+		ix.stats.Queries++
+	}
+	if ix.data.Len() == 0 || q.IsEmpty() {
 		return out
 	}
 	return ix.queryList(q, ix.root, 0, out)
@@ -271,14 +307,22 @@ func (ix *Index) queryList(q geom.Box, list *sliceList, dim int, out []int32) []
 	// Sibling boxes' Min is monotone only under lower-corner assignment
 	// (bands partition the representative coordinate, and Min *is* the
 	// representative there); the ablation modes scan the whole list and rely
-	// on the per-slice box test.
+	// on the per-slice box test. The search is hand-rolled so the hot path
+	// carries no sort.Search closure.
 	fastPath := ix.cfg.Assign == AssignLower && !math.IsInf(list.maxExt, 1)
 	var i int
 	if fastPath {
 		searchKey := q.Min[dim] - list.maxExt
-		i = sort.Search(len(list.slices), func(k int) bool {
-			return list.slices[k].box.Min[dim] >= searchKey
-		})
+		lo, hi := 0, len(list.slices)
+		for lo < hi {
+			m := int(uint(lo+hi) >> 1)
+			if list.slices[m].box.Min[dim] < searchKey {
+				lo = m + 1
+			} else {
+				hi = m
+			}
+		}
+		i = lo
 	}
 
 	// Replacements produced by refinement: original index -> new slices.
@@ -292,19 +336,23 @@ func (ix *Index) queryList(q geom.Box, list *sliceList, dim int, out []int32) []
 		if !s.box.Intersects(q) {
 			continue
 		}
+		// Steady-state fast path: a slice already meeting its threshold is
+		// finalized in place and never replaced, so the converged query path
+		// performs no refinement bookkeeping (and no allocation).
+		if s.size() <= ix.tau[dim] {
+			ix.finalize(s)
+			if !s.box.Intersects(q) {
+				continue // the exact MBB ruled q out
+			}
+			out = ix.processSlice(s, q, dim, out)
+			continue
+		}
 		refinedSlices := ix.refine(s, q)
 		for _, t := range refinedSlices {
 			if !t.box.Intersects(q) {
 				continue
 			}
-			if dim == geom.Dims-1 {
-				out = ix.scanSlice(t, q, out)
-			} else {
-				if t.children == nil {
-					ix.createDefaultChild(t)
-				}
-				out = ix.queryList(q, t.children, dim+1, out)
-			}
+			out = ix.processSlice(t, q, dim, out)
 		}
 		if len(refinedSlices) != 1 || refinedSlices[0] != s {
 			if replaced == nil {
@@ -320,28 +368,41 @@ func (ix *Index) queryList(q geom.Box, list *sliceList, dim int, out []int32) []
 	return out
 }
 
-// scanSlice tests every object of a bottom-level slice against q.
-func (ix *Index) scanSlice(s *slice, q geom.Box, out []int32) []int32 {
-	ix.stats.ObjectsTested += int64(s.size())
-	for j := s.lo; j < s.hi; j++ {
-		if ix.data[j].Intersects(q) {
-			out = append(out, int32(j))
-		}
+// processSlice scans a bottom-level slice or descends into the next level.
+func (ix *Index) processSlice(s *slice, q geom.Box, dim int, out []int32) []int32 {
+	if dim == geom.Dims-1 {
+		return ix.scanSlice(s, q, out)
 	}
-	ix.stats.ResultObjects += int64(len(out))
+	if s.children == nil {
+		ix.createDefaultChild(s)
+	}
+	return ix.queryList(q, s.children, dim+1, out)
+}
+
+// scanSlice tests every object of a bottom-level slice against q using the
+// columnar branch-light interval filter.
+func (ix *Index) scanSlice(s *slice, q geom.Box, out []int32) []int32 {
+	before := len(out)
+	out = ix.data.ScanIntersect(s.lo, s.hi, q, out)
+	if !ix.noStats {
+		ix.stats.ObjectsTested += int64(s.size())
+		ix.stats.ResultObjects += int64(len(out) - before)
+	}
 	return out
 }
 
 // createDefaultChild gives a refined slice a single child covering its whole
 // range at the next level, to be refined by subsequent processing.
 func (ix *Index) createDefaultChild(s *slice) {
-	child := &slice{level: s.level + 1, lo: s.lo, hi: s.hi, box: s.box}
+	child := ix.newSlice(s.level+1, s.lo, s.hi, s.box)
 	// The parent's box is a valid (possibly loose) bound for the child. The
 	// child is final only if it already meets its own level's threshold.
 	child.refined = s.refined && child.size() <= ix.tau[child.level]
 	s.children = &sliceList{slices: []*slice{child}}
 	s.children.noteExtent(child, child.level)
-	ix.stats.SlicesCreated++
+	if !ix.noStats {
+		ix.stats.SlicesCreated++
+	}
 }
 
 // splice replaces refined entries of list with their replacements, keeping
@@ -499,23 +560,6 @@ func artificialCut(lo, hi float64) float64 {
 	return c
 }
 
-// bounds tracks the exact extent of a band in the cracked dimension: the
-// minimum lower coordinate and the maximum upper coordinate of its objects.
-type bounds struct {
-	min, max float64
-}
-
-func newBounds() bounds { return bounds{min: math.Inf(1), max: math.Inf(-1)} }
-
-func (b *bounds) add(o *geom.Object, dim int) {
-	if v := o.Min[dim]; v < b.min {
-		b.min = v
-	}
-	if v := o.Max[dim]; v > b.max {
-		b.max = v
-	}
-}
-
 // crackThree partitions s into up to three non-empty fragments around
 // [low, highExcl) of the representative coordinate. Fragment boxes carry the
 // exact extent in the cracked dimension and stay open in the others.
@@ -523,87 +567,48 @@ func (ix *Index) crackThree(s *slice, dim int, low, highExcl float64) []*slice {
 	m1, lb, _ := ix.partition(s.lo, s.hi, dim, low)
 	m2, mb, rb := ix.partition(m1, s.hi, dim, highExcl)
 	return ix.makeFragments(s, dim,
-		[]int{s.lo, m1, m2, s.hi}, []bounds{lb, mb, rb})
+		[]int{s.lo, m1, m2, s.hi}, []colstore.Bounds{lb, mb, rb})
 }
 
 // crackTwo partitions s into up to two non-empty fragments at pivot.
 func (ix *Index) crackTwo(s *slice, dim int, pivot float64) []*slice {
 	m, lb, rb := ix.partition(s.lo, s.hi, dim, pivot)
-	return ix.makeFragments(s, dim, []int{s.lo, m, s.hi}, []bounds{lb, rb})
+	return ix.makeFragments(s, dim, []int{s.lo, m, s.hi}, []colstore.Bounds{lb, rb})
 }
 
-// partition is the cracking kernel: it reorders data[lo:hi) so objects with
-// representative coordinate < pivot precede the rest, returning the split
-// position together with the exact bounds of both bands in dim. Bounds are
-// tracked in the same pass — each element's final side is known either when
-// a scan pointer passes it or when it is swapped.
-func (ix *Index) partition(lo, hi int, dim int, pivot float64) (mid int, left, right bounds) {
-	ix.stats.Cracks++
-	ix.stats.CrackedObjects += int64(hi - lo)
-	data := ix.data
-	left, right = newBounds(), newBounds()
-	if ix.cfg.Assign != AssignLower {
-		// Generic path for the ablation assignment modes.
-		i, j := lo, hi-1
-		for i <= j {
-			for i <= j && ix.key(&data[i], dim) < pivot {
-				left.add(&data[i], dim)
-				i++
-			}
-			for i <= j && ix.key(&data[j], dim) >= pivot {
-				right.add(&data[j], dim)
-				j--
-			}
-			if i < j {
-				data[i], data[j] = data[j], data[i]
-				left.add(&data[i], dim)
-				right.add(&data[j], dim)
-				i++
-				j--
-			}
-		}
-		return i, left, right
+// partition delegates to the columnar cracking kernel: it reorders rows
+// [lo, hi) so rows with representative coordinate < pivot precede the rest,
+// returning the split position together with the exact bounds of both bands
+// in dim.
+func (ix *Index) partition(lo, hi int, dim int, pivot float64) (mid int, left, right colstore.Bounds) {
+	if !ix.noStats {
+		ix.stats.Cracks++
+		ix.stats.CrackedObjects += int64(hi - lo)
 	}
-	i, j := lo, hi-1
-	for i <= j {
-		for i <= j && data[i].Min[dim] < pivot {
-			left.add(&data[i], dim)
-			i++
-		}
-		for i <= j && data[j].Min[dim] >= pivot {
-			right.add(&data[j], dim)
-			j--
-		}
-		if i < j {
-			data[i], data[j] = data[j], data[i]
-			left.add(&data[i], dim)
-			right.add(&data[j], dim)
-			i++
-			j--
-		}
-	}
-	return i, left, right
+	return ix.data.Partition(lo, hi, dim, pivot, ix.keyMode())
 }
 
 // makeFragments materializes the non-empty fragments delimited by cuts
 // (cuts[0] == s.lo, cuts[len-1] == s.hi) with the matching per-band bounds.
 // Each fragment inherits s's box in the dimensions not yet sliced and gets
 // exact bounds in dim; fragments small enough are finalized with a full MBB.
-func (ix *Index) makeFragments(s *slice, dim int, cuts []int, bds []bounds) []*slice {
+func (ix *Index) makeFragments(s *slice, dim int, cuts []int, bds []colstore.Bounds) []*slice {
 	frags := make([]*slice, 0, len(cuts)-1)
 	for k := 0; k+1 < len(cuts); k++ {
 		lo, hi := cuts[k], cuts[k+1]
 		if lo >= hi {
 			continue
 		}
-		f := &slice{level: dim, lo: lo, hi: hi, box: s.box}
-		f.box.Min[dim] = bds[k].min
-		f.box.Max[dim] = bds[k].max
+		f := ix.newSlice(dim, lo, hi, s.box)
+		f.box.Min[dim] = bds[k].Min
+		f.box.Max[dim] = bds[k].Max
 		if f.size() <= ix.tau[dim] {
-			ix.finalize(f)
+			ix.finalizeFragment(f, dim)
 		}
 		frags = append(frags, f)
-		ix.stats.SlicesCreated++
+		if !ix.noStats {
+			ix.stats.SlicesCreated++
+		}
 	}
 	return frags
 }
@@ -614,8 +619,21 @@ func (ix *Index) finalize(s *slice) {
 	if s.refined {
 		return
 	}
-	s.box = geom.MBB(ix.data[s.lo:s.hi])
+	s.box = ix.data.MBB(s.lo, s.hi)
 	s.refined = true
+}
+
+// finalizeFragment finalizes a fragment fresh out of a crack pass: its box
+// is already exact in the cracked dimension (the partition kernel tracked
+// those bounds in-pass), so only the other dimensions' lanes are reduced.
+func (ix *Index) finalizeFragment(f *slice, dim int) {
+	for d := 0; d < geom.Dims; d++ {
+		if d == dim {
+			continue
+		}
+		f.box.Min[d], f.box.Max[d] = ix.data.LaneBounds(d, f.lo, f.hi)
+	}
+	f.refined = true
 }
 
 // --- Introspection and invariant checking (used by tests and tools) ---
@@ -655,7 +673,7 @@ func (ix *Index) CheckInvariants() error {
 	if ix.root == nil {
 		return nil
 	}
-	return ix.checkList(ix.root, 0, len(ix.data), 0)
+	return ix.checkList(ix.root, 0, ix.data.Len(), 0)
 }
 
 func (ix *Index) checkList(l *sliceList, lo, hi, level int) error {
@@ -678,20 +696,20 @@ func (ix *Index) checkList(l *sliceList, lo, hi, level int) error {
 		}
 		pos = s.hi
 		if s.refined {
-			mbb := geom.MBB(ix.data[s.lo:s.hi])
+			mbb := ix.data.MBB(s.lo, s.hi)
 			if !s.box.Contains(mbb) && s.size() > 0 {
 				return fmt.Errorf("level %d: refined slice %d box %v does not contain objects MBB %v", level, k, s.box, mbb)
 			}
 		}
 		// Exact-dimension bound check: finite bounds must cover objects.
 		for j := s.lo; j < s.hi; j++ {
-			if !math.IsInf(s.box.Min[level], -1) && ix.data[j].Min[level] < s.box.Min[level]-1e-9 {
+			if !math.IsInf(s.box.Min[level], -1) && ix.data.Min[level][j] < s.box.Min[level]-1e-9 {
 				return fmt.Errorf("level %d: slice %d lower bound %g violated by object %d (%g)",
-					level, k, s.box.Min[level], j, ix.data[j].Min[level])
+					level, k, s.box.Min[level], j, ix.data.Min[level][j])
 			}
-			if !math.IsInf(s.box.Max[level], 1) && ix.data[j].Max[level] > s.box.Max[level]+1e-9 {
+			if !math.IsInf(s.box.Max[level], 1) && ix.data.Max[level][j] > s.box.Max[level]+1e-9 {
 				return fmt.Errorf("level %d: slice %d upper bound %g violated by object %d (%g)",
-					level, k, s.box.Max[level], j, ix.data[j].Max[level])
+					level, k, s.box.Max[level], j, ix.data.Max[level][j])
 			}
 		}
 		if s.children != nil {
@@ -707,18 +725,7 @@ func (ix *Index) checkList(l *sliceList, lo, hi, level int) error {
 }
 
 // lowerRange returns the min and max representative coordinate of s's objects
-// in dimension dim. It prefers the slice's recorded bounds when finite and
-// falls back to a scan (used before a slice has exact bounds in dim).
+// in dimension dim (a lane scan; used before a slice has exact bounds in dim).
 func (ix *Index) lowerRange(s *slice, dim int) (lo, hi float64) {
-	lo, hi = math.Inf(1), math.Inf(-1)
-	for j := s.lo; j < s.hi; j++ {
-		v := ix.key(&ix.data[j], dim)
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	return lo, hi
+	return ix.data.KeyRange(s.lo, s.hi, dim, ix.keyMode())
 }

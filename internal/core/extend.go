@@ -82,7 +82,7 @@ func (ix *Index) completeSlice(s *slice, dim int) []*slice {
 // Append registers new objects with the index. The paper assumes all data is
 // available up front (static setting); arrivals are therefore buffered and
 // scanned linearly by every query until Flush folds them into the indexed
-// array. IDs need not be unique, but results are reported by ID.
+// lanes. IDs need not be unique, but results are reported by ID.
 func (ix *Index) Append(objs ...geom.Object) {
 	ix.pending = append(ix.pending, objs...)
 	for i := range objs {
@@ -96,13 +96,13 @@ func (ix *Index) Append(objs ...geom.Object) {
 }
 
 // Pending returns the number of appended objects not yet folded into the
-// indexed array.
+// indexed lanes.
 func (ix *Index) Pending() int { return len(ix.pending) }
 
 // Delete removes the object with the given ID, using hint (typically the
 // object's own box) to locate it. Deletion is logical — a tombstone filters
 // the object out of all results immediately — and physical on the next
-// Flush, which compacts the array and restarts refinement. It reports
+// Flush, which compacts the lanes and restarts refinement. It reports
 // whether an object was found. IDs are assumed unique for deletion; with
 // duplicates every object carrying the ID disappears from results.
 func (ix *Index) Delete(id int32, hint geom.Box) bool {
@@ -113,9 +113,9 @@ func (ix *Index) Delete(id int32, hint geom.Box) bool {
 			return true
 		}
 	}
-	// Locate in the indexed array (refines around hint as a side effect).
+	// Locate in the indexed lanes (refines around hint as a side effect).
 	for _, pos := range ix.queryPositions(hint, nil) {
-		if ix.data[pos].ID == id {
+		if ix.data.ID[pos] == id {
 			if ix.deleted == nil {
 				ix.deleted = make(map[int32]struct{})
 			}
@@ -129,7 +129,7 @@ func (ix *Index) Delete(id int32, hint geom.Box) bool {
 // Deleted returns the number of tombstoned objects awaiting compaction.
 func (ix *Index) Deleted() int { return len(ix.deleted) }
 
-// Flush folds all appended objects into the indexed array and compacts away
+// Flush folds all appended objects into the indexed lanes and compacts away
 // tombstoned ones. The slice hierarchy restarts from a single unrefined
 // slice — subsequent queries rebuild it incrementally, which is the
 // adaptive-indexing answer to bulk updates (refining the merge is future
@@ -139,19 +139,15 @@ func (ix *Index) Flush() {
 		return
 	}
 	if len(ix.deleted) > 0 {
-		kept := ix.data[:0]
-		for i := range ix.data {
-			if _, dead := ix.deleted[ix.data[i].ID]; !dead {
-				kept = append(kept, ix.data[i])
-			}
-		}
-		ix.data = kept
+		ix.data.Compact(ix.deleted)
 		ix.deleted = nil
 	}
-	ix.data = append(ix.data, ix.pending...)
+	ix.data.AppendObjects(ix.pending)
 	ix.pending = nil
 	ix.computeTaus()
-	initial := &slice{level: 0, lo: 0, hi: len(ix.data), box: geom.UniverseBox()}
+	initial := ix.newSlice(0, 0, ix.data.Len(), geom.UniverseBox())
 	ix.root = &sliceList{slices: []*slice{initial}, maxExt: math.Inf(1)}
-	ix.stats.SlicesCreated++
+	if !ix.noStats {
+		ix.stats.SlicesCreated++
+	}
 }

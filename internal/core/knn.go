@@ -23,16 +23,16 @@ type Neighbor struct {
 // refines the index around p as a side effect.
 func (ix *Index) KNN(p geom.Point, k int) []Neighbor {
 	ix.Flush() // fold any appended objects so position-based ranking sees them
-	if k <= 0 || len(ix.data) == 0 {
+	if k <= 0 || ix.data.Len() == 0 {
 		return nil
 	}
-	if k > len(ix.data) {
-		k = len(ix.data)
+	if k > ix.data.Len() {
+		k = ix.data.Len()
 	}
 	span := ix.dataMBB
 	// Initial cube: volume sized for an expected 2k objects under a uniform
 	// density assumption; clamped to a sane floor.
-	side := math.Cbrt(span.Volume() * 2 * float64(k) / float64(len(ix.data)))
+	side := math.Cbrt(span.Volume() * 2 * float64(k) / float64(ix.data.Len()))
 	if side <= 0 || math.IsNaN(side) {
 		side = 1
 	}
@@ -72,8 +72,7 @@ func (ix *Index) KNN(p geom.Point, k int) []Neighbor {
 func (ix *Index) rank(pos []int32, p geom.Point, k int) []Neighbor {
 	nn := make([]Neighbor, 0, len(pos))
 	for _, j := range pos {
-		o := &ix.data[j]
-		nn = append(nn, Neighbor{ID: o.ID, DistSq: o.MinDistSq(p)})
+		nn = append(nn, Neighbor{ID: ix.data.ID[j], DistSq: ix.data.MinDistSq(int(j), p)})
 	}
 	sort.Slice(nn, func(i, j int) bool {
 		if nn[i].DistSq != nn[j].DistSq {

@@ -12,6 +12,7 @@ import (
 	"io"
 	"math/rand"
 
+	"repro/internal/colstore"
 	"repro/internal/geom"
 )
 
@@ -43,13 +44,15 @@ type snapSlice struct {
 
 const snapshotVersion = 1
 
-// Save serializes the index — data array, pending buffer, and the full
-// slice hierarchy with its refinement state — to w.
+// Save serializes the index — data rows (materialized from the columnar
+// lanes so the on-disk format stays the AoS object array of version 1),
+// pending buffer, and the full slice hierarchy with its refinement state —
+// to w.
 func (ix *Index) Save(w io.Writer) error {
 	snap := snapshot{
 		Version: snapshotVersion,
 		Cfg:     ix.cfg,
-		Data:    ix.data,
+		Data:    ix.data.Objects(make([]geom.Object, 0, ix.data.Len())),
 		Pending: ix.pending,
 		Deleted: deletedIDs(ix.deleted),
 		MaxExt:  ix.maxExt,
@@ -76,22 +79,23 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	ix := &Index{
 		cfg:     snap.Cfg,
-		data:    snap.Data,
+		data:    colstore.FromObjects(snap.Data),
 		pending: snap.Pending,
 		deleted: deletedSet(snap.Deleted),
 		maxExt:  snap.MaxExt,
 		dataMBB: snap.DataMBB,
 		tau:     snap.Tau,
 		rng:     rand.New(rand.NewSource(seed)),
+		noStats: snap.Cfg.DisableStats,
 		stats:   snap.Stats,
-		root:    decodeList(snap.Root, 0),
 	}
+	ix.root = ix.decodeList(snap.Root, 0)
 	if ix.root == nil {
 		ix.root = &sliceList{}
 	}
 	// Bounds-check every slice range before the structural invariant check,
-	// which indexes into the data array and would panic on dangling ranges.
-	if err := checkRanges(ix.root, len(ix.data)); err != nil {
+	// which indexes into the data lanes and would panic on dangling ranges.
+	if err := checkRanges(ix.root, ix.data.Len()); err != nil {
 		return nil, fmt.Errorf("corrupt quasii snapshot: %w", err)
 	}
 	if err := ix.CheckInvariants(); err != nil {
@@ -128,16 +132,16 @@ func encodeList(l *sliceList) *snapList {
 	return out
 }
 
-func decodeList(l *snapList, level int) *sliceList {
+func (ix *Index) decodeList(l *snapList, level int) *sliceList {
 	if l == nil {
 		return nil
 	}
 	out := &sliceList{maxExt: l.MaxExt, slices: make([]*slice, len(l.Slices))}
 	for i, s := range l.Slices {
-		out.slices[i] = &slice{
-			level: level, lo: s.Lo, hi: s.Hi, box: s.Box, refined: s.Refined,
-			children: decodeList(s.Children, level+1),
-		}
+		n := ix.newSlice(level, s.Lo, s.Hi, s.Box)
+		n.refined = s.Refined
+		n.children = ix.decodeList(s.Children, level+1)
+		out.slices[i] = n
 	}
 	return out
 }

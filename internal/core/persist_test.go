@@ -125,8 +125,8 @@ func TestLoadRejectsCorruptStructure(t *testing.T) {
 	data := dataset.Uniform(100, 1007)
 	ix := New(dataset.Clone(data), Config{Tau: 8})
 	ix.Query(workload.Uniform(dataset.Universe(), 1, 1e-2, 1008)[0], nil)
-	// Corrupt: shrink the data array so slice ranges dangle.
-	ix.data = ix.data[:50]
+	// Corrupt: shrink the data lanes so slice ranges dangle.
+	ix.data.Truncate(50)
 	var buf bytes.Buffer
 	if err := ix.Save(&buf); err != nil {
 		t.Fatal(err)

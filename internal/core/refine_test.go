@@ -124,7 +124,7 @@ func TestFinalizedSliceHasExactMBB(t *testing.T) {
 		if !s.refined {
 			continue
 		}
-		want := geom.MBB(ix.data[s.lo:s.hi])
+		want := ix.data.MBB(s.lo, s.hi)
 		if s.box != want {
 			t.Fatalf("refined slice [%d,%d) box %v != exact MBB %v", s.lo, s.hi, s.box, want)
 		}

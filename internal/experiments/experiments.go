@@ -48,6 +48,10 @@ type Scale struct {
 	// concurrent client count (0 = 8).
 	Shards     int
 	Goroutines int
+	// NoStats disables the QUASII work counters in the Throughput
+	// experiment's engines (core.Config.DisableStats), measuring the index
+	// without instrumentation overhead — the production serving posture.
+	NoStats bool
 	// Workload selects the query pattern for the Throughput experiment:
 	// "uniform" (default), "clustered", "zipf" or "sequential" — the access
 	// patterns of the adaptive-indexing literature (see internal/workload).

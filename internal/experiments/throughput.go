@@ -48,13 +48,16 @@ func Throughput(w io.Writer, sc Scale) (*Result, error) {
 		build func() bench.QueryIndex
 	}{
 		{"mutex+quasii", func() bench.QueryIndex {
-			return syncidx.Wrap(core.New(dataset.Clone(data), core.Config{}))
+			return syncidx.Wrap(core.New(dataset.Clone(data), core.Config{DisableStats: sc.NoStats}))
 		}},
 		{"rwlock+rtree", func() bench.QueryIndex {
 			return syncidx.RWrap(rtree.New(data, rtree.Config{}))
 		}},
 		{fmt.Sprintf("sharded(%d)", shards), func() bench.QueryIndex {
-			return shard.New(data, shard.Config{Shards: shards})
+			return shard.New(data, shard.Config{
+				Shards:    shards,
+				SubConfig: core.Config{DisableStats: sc.NoStats},
+			})
 		}},
 	}
 

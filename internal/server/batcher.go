@@ -49,8 +49,10 @@ func newBatcher(ix *shard.Index, adm *admission, window time.Duration, limit int
 // slot).
 func (b *batcher) do(q geom.Box) []int32 {
 	if b.window <= 0 {
+		// The result buffer comes from the shard pool; handleQuery returns
+		// it after encoding the response.
 		var out []int32
-		b.adm.exec(func() { out = b.ix.Query(q, nil) })
+		b.adm.exec(func() { out = b.ix.Query(q, shard.GetResultBuf()) })
 		b.batches.Add(1)
 		b.queries.Add(1)
 		return out

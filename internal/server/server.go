@@ -22,6 +22,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -203,10 +205,35 @@ func (s *Server) route(path string, admit bool, methods []string, h http.Handler
 	})
 }
 
+// encBufPool recycles the JSON encode buffers so responses do not allocate
+// a fresh buffer per request; buffers that ballooned past the reuse ceiling
+// are dropped instead of pinning memory.
+var encBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+const maxEncBufCap = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	writeJSONSized(w, status, v, 0)
+}
+
+// writeJSONSized encodes v into a pooled buffer — grown up front to
+// sizeHint bytes when the caller can predict the response size from its
+// result counts — and writes it out in one shot with an explicit
+// Content-Length.
+func writeJSONSized(w http.ResponseWriter, status int, v interface{}, sizeHint int) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if sizeHint > 0 {
+		buf.Grow(sizeHint)
+	}
+	_ = json.NewEncoder(buf).Encode(v)
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxEncBufCap {
+		encBufPool.Put(buf)
+	}
 }
 
 func badRequest(w http.ResponseWriter, err error) {
@@ -243,7 +270,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if ids == nil {
 		ids = []int32{}
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{IDs: ids, Count: len(ids)})
+	// ~11 bytes per ID plus the envelope; the result buffer goes back to
+	// the shard pool once the response bytes are encoded.
+	writeJSONSized(w, http.StatusOK, QueryResponse{IDs: ids, Count: len(ids)}, 32+11*len(ids))
+	shard.PutResultBuf(ids)
 }
 
 // boxFromParams parses ?min=x,y,z&max=x,y,z.
@@ -298,12 +328,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var results [][]int32
 	s.adm.exec(func() { results = s.ix.QueryBatch(boxes) })
+	total := 0
 	for i := range results {
 		if results[i] == nil {
 			results[i] = []int32{}
 		}
+		total += len(results[i])
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	writeJSONSized(w, http.StatusOK, BatchResponse{Results: results}, 32+11*total+4*len(results))
+	shard.RecycleResults(results)
 }
 
 // handleKNN answers a k-nearest-neighbor query.
@@ -337,7 +370,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotImplemented, ErrorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, KNNResponse{Neighbors: nn})
+	writeJSONSized(w, http.StatusOK, KNNResponse{Neighbors: nn}, 32+48*len(nn))
 }
 
 // handleInsert routes new objects into the engine.

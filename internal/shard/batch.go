@@ -30,7 +30,10 @@ func (ix *Index) QueryBatch(queries []geom.Box) [][]int32 {
 				return
 			}
 			hit = ix.overlapping(queries[qi], hit[:0])
-			results[qi] = querySerial(hit, queries[qi], nil)
+			// Result buffers come from the engine's pool; callers that are
+			// done with them can hand them back via RecycleResults (the
+			// HTTP server does after encoding each response).
+			results[qi] = querySerial(hit, queries[qi], GetResultBuf())
 		}
 	}
 	helpers := ix.workers

@@ -1,0 +1,65 @@
+// Result-buffer pooling: every query against the sharded engine used to
+// allocate fresh []int32 result slices — one per overlapping shard in
+// Query's fan-out and one per query in QueryBatch — which at serving rates
+// turns into steady GC pressure. The pool below recycles those buffers.
+// Internal fan-out buffers are returned automatically after the merge; the
+// per-query results that QueryBatch hands to callers can be recycled by the
+// caller (the HTTP server does, once the response is encoded) via
+// PutResultBuf/RecycleResults.
+package shard
+
+import "sync"
+
+// idBufPool recycles ID buffers. Entries are *[]int32 so that internal
+// Get/Put pairs stay allocation-free.
+var idBufPool = sync.Pool{New: func() interface{} { b := make([]int32, 0, 512); return &b }}
+
+func getIDBuf() *[]int32 { return idBufPool.Get().(*[]int32) }
+
+func putIDBuf(b *[]int32) {
+	if cap(*b) > maxPooledCap {
+		return
+	}
+	*b = (*b)[:0]
+	idBufPool.Put(b)
+}
+
+// boxPool recycles the *[]int32 boxes that the value-based public API
+// (GetResultBuf/PutResultBuf) unwraps and re-wraps, so the steady-state
+// Get/Put cycle allocates neither the buffer nor its box.
+var boxPool = sync.Pool{New: func() interface{} { return new([]int32) }}
+
+// GetResultBuf returns an empty ID buffer from the engine's pool. Using it
+// as the out argument of Query (and returning it afterwards with
+// PutResultBuf) makes the steady-state query path allocation-free.
+func GetResultBuf() []int32 {
+	p := getIDBuf()
+	b := (*p)[:0]
+	*p = nil
+	boxPool.Put(p)
+	return b
+}
+
+// PutResultBuf returns a result buffer to the pool. The buffer must not be
+// used after the call. Buffers that grew past the pool's reuse ceiling are
+// dropped so one giant result cannot pin memory forever.
+func PutResultBuf(b []int32) {
+	if cap(b) == 0 || cap(b) > maxPooledCap {
+		return
+	}
+	p := boxPool.Get().(*[]int32)
+	*p = b[:0]
+	idBufPool.Put(p)
+}
+
+// RecycleResults returns every per-query slice of a QueryBatch result to
+// the pool. None of the slices may be used after the call.
+func RecycleResults(results [][]int32) {
+	for _, r := range results {
+		PutResultBuf(r)
+	}
+}
+
+// maxPooledCap bounds the capacity of buffers kept by the pool (1 MiB of
+// int32 IDs); larger one-off results are left to the garbage collector.
+const maxPooledCap = 1 << 18

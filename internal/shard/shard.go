@@ -302,22 +302,31 @@ func (ix *Index) Query(q geom.Box, out []int32) []int32 {
 	if ix.workers <= 1 {
 		return querySerial(hit, q, out)
 	}
-	results := make([][]int32, len(hit))
+	// Per-shard scratch results come from the engine's buffer pool and are
+	// returned after the merge, so steady-state fan-out performs no slice
+	// allocation. The pointer array lives on the stack for typical fan-outs.
+	var resArr [16]*[]int32
+	results := resArr[:]
+	if len(hit) > len(results) {
+		results = make([]*[]int32, len(hit))
+	}
 	var wg sync.WaitGroup
 	for k := 1; k < len(hit); k++ {
 		// Acquire a pool slot without blocking: when concurrent queries
 		// already saturate the pool, waiting for a slot is strictly worse
 		// than answering the shard inline on this goroutine.
+		buf := getIDBuf()
+		results[k] = buf
 		select {
 		case ix.sem <- struct{}{}:
 			wg.Add(1)
-			go func(k int) {
+			go func(k int, buf *[]int32) {
 				defer wg.Done()
-				results[k] = queryShard(hit[k], q, nil)
+				*buf = queryShard(hit[k], q, (*buf)[:0])
 				<-ix.sem
-			}(k)
+			}(k, buf)
 		default:
-			results[k] = queryShard(hit[k], q, nil)
+			*buf = queryShard(hit[k], q, (*buf)[:0])
 		}
 	}
 	// The calling goroutine handles the first shard itself instead of
@@ -327,8 +336,9 @@ func (ix *Index) Query(q geom.Box, out []int32) []int32 {
 	wg.Wait()
 	// Merge in shard order: the output order is deterministic regardless of
 	// which shards ran on the pool.
-	for _, r := range results[1:] {
-		out = append(out, r...)
+	for _, r := range results[1:len(hit)] {
+		out = append(out, (*r)...)
+		putIDBuf(r)
 	}
 	return out
 }
