@@ -167,6 +167,8 @@ Extension experiments (run only when named):
   patterns   QUASII vs R-Tree under adaptive-indexing access patterns
   throughput concurrent q/s: sharded engine vs global-mutex QUASII
              (-shards, -goroutines, -workload uniform|clustered|zipf|sequential)
+  readscaling single-shard read scaling: shared read path vs exclusive lock,
+             converged and mixed crack/read phases (-goroutines, -workload)
 
 Flags:
 `)

@@ -9,13 +9,19 @@
 //	quasii-loadgen [-addr http://localhost:8080] [-clients 8] [-queries 10000]
 //	               [-workload uniform|clustered|zipf|sequential]
 //	               [-selectivity 1e-3] [-skew 1.2] [-query-seed 2]
-//	               [-write-every 0] [-oracle] [-n 200000] [-dataset uniform]
+//	               [-write-every 0] [-readers 0] [-writers 0]
+//	               [-oracle] [-n 200000] [-dataset uniform]
 //	               [-seed 1] [-retries 100]
 //
 // With -oracle, the generator rebuilds the server's dataset locally (match
 // -n, -dataset and -seed to the quasii-serve flags) and compares every
 // response against a full scan; any mismatch makes the run exit non-zero.
 // -write-every N mixes one insert→verify→delete cycle into every Nth query.
+// -readers/-writers select the mixed-workload mode: -readers R goroutines
+// drain the query workload (overriding -clients) while -writers W dedicated
+// goroutines run continuous insert→verify→delete cycles against the same
+// server — the end-to-end measurement of the engine's concurrent read path
+// under write contention.
 package main
 
 import (
@@ -40,6 +46,10 @@ func main() {
 	querySeed := flag.Int64("query-seed", 2, "workload RNG seed")
 	writeEvery := flag.Int("write-every", 0,
 		"mix an insert+delete cycle into every Nth query (0 = read-only)")
+	readers := flag.Int("readers", 0,
+		"mixed-workload mode: reader goroutines draining the query workload (0 = use -clients)")
+	writers := flag.Int("writers", 0,
+		"mixed-workload mode: dedicated writer goroutines running continuous insert+delete cycles")
 	oracle := flag.Bool("oracle", false,
 		"validate responses against a local scan oracle (requires matching -n/-dataset/-seed)")
 	n := flag.Int("n", 200000, "server dataset size (for -oracle and -workload clustered)")
@@ -80,11 +90,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	nClients := *clients
+	if *readers > 0 {
+		nClients = *readers
+	}
 	cfg := bench.LoadgenConfig{
 		BaseURL:    *addr,
-		Clients:    *clients,
+		Clients:    nClients,
 		Queries:    boxes,
 		WriteEvery: *writeEvery,
+		Writers:    *writers,
 		MaxRetries: *retries,
 	}
 	if *oracle {
@@ -92,8 +107,8 @@ func main() {
 		cfg.Oracle = func(q geom.Box) []int32 { return sc.Query(q, nil) }
 	}
 
-	fmt.Printf("quasii-loadgen: %d %s queries (sel %g) against %s, %d clients, write-every %d, oracle %v\n",
-		len(boxes), *workloadName, *selectivity, *addr, *clients, *writeEvery, *oracle)
+	fmt.Printf("quasii-loadgen: %d %s queries (sel %g) against %s, %d readers, %d writers, write-every %d, oracle %v\n",
+		len(boxes), *workloadName, *selectivity, *addr, nClients, *writers, *writeEvery, *oracle)
 	res := bench.RunLoadgen(cfg)
 	bench.PrintLoadgen(os.Stdout, res)
 	if res.Mismatches > 0 || res.Errors > 0 {

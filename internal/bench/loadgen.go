@@ -44,6 +44,13 @@ type LoadgenConfig struct {
 	// WriteEvery mixes one insert→verify→delete→verify cycle into every
 	// Nth query a client executes. 0 keeps the run read-only.
 	WriteEvery int
+	// Writers adds that many dedicated writer goroutines running
+	// insert→verify→delete cycles for the whole run, concurrently with the
+	// reader clients — the readers/writers mixed-workload mode that
+	// exercises the engine's shared-read/exclusive-write scheduling end to
+	// end over HTTP. Writers stop when the readers drain the workload.
+	// 0 disables.
+	Writers int
 	// MaxRetries bounds the 429 retries per request. 0 selects 100.
 	MaxRetries int
 	// Client overrides the HTTP client (nil selects a pooled default).
@@ -52,14 +59,16 @@ type LoadgenConfig struct {
 
 // LoadgenResult aggregates one run.
 type LoadgenResult struct {
-	Clients    int
-	Queries    int             // range queries answered 200
-	Writes     int             // insert→delete cycles completed
-	Rejected   int64           // 429 responses absorbed by retry
-	Errors     int64           // non-retryable failures (transport, 5xx, retries exhausted)
-	Mismatches int64           // oracle disagreements
-	Wall       time.Duration   // wall clock for the whole run
-	Latencies  []time.Duration // per successful range query, all clients
+	Clients      int
+	Writers      int             // dedicated writer goroutines (mixed mode)
+	Queries      int             // range queries answered 200
+	Writes       int             // insert→delete cycles completed by readers (WriteEvery)
+	WriterCycles int             // insert→delete cycles completed by dedicated writers
+	Rejected     int64           // 429 responses absorbed by retry
+	Errors       int64           // non-retryable failures (transport, 5xx, retries exhausted)
+	Mismatches   int64           // oracle disagreements
+	Wall         time.Duration   // wall clock for the whole run
+	Latencies    []time.Duration // per successful range query, all clients
 }
 
 // QPS returns successful range queries per second of wall time.
@@ -145,8 +154,8 @@ func RunLoadgen(cfg LoadgenConfig) *LoadgenResult {
 			},
 		}
 	}
-	res := &LoadgenResult{Clients: clients}
-	var queriesOK, writesOK, rejected, errors, mismatches atomic.Int64
+	res := &LoadgenResult{Clients: clients, Writers: cfg.Writers}
+	var queriesOK, writesOK, writerCycles, rejected, errors, mismatches atomic.Int64
 	perClient := make([][]time.Duration, clients)
 	// Per-run nonce for write IDs: a run that dies between insert and
 	// delete leaves its object on a long-lived server, and a later run
@@ -158,6 +167,31 @@ func RunLoadgen(cfg LoadgenConfig) *LoadgenResult {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	t0 := time.Now()
+	// Dedicated writers (mixed-workload mode): loop write cycles over the
+	// query boxes until the readers drain the workload. Their IDs live in a
+	// range disjoint from the readers' WriteEvery cycles (which use the
+	// query index) so delete-verification never crosses goroutines.
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	for w := 0; w < cfg.Writers && len(cfg.Queries) > 0; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			lc := &loadgenClient{cfg: &cfg, client: httpClient, rejected: &rejected, errors: &errors}
+			base := nonce + int32(len(cfg.Queries)) + int32(w)*10_000_000
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := cfg.Queries[(i*cfg.Writers+w)%len(cfg.Queries)]
+				if lc.writeCycle(q, base+int32(i%10_000_000), cfg.Oracle, &mismatches) {
+					writerCycles.Add(1)
+				}
+			}
+		}(w)
+	}
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -191,11 +225,14 @@ func RunLoadgen(cfg LoadgenConfig) *LoadgenResult {
 	}
 	wg.Wait()
 	res.Wall = time.Since(t0)
+	close(stop)
+	wwg.Wait()
 	for _, lats := range perClient {
 		res.Latencies = append(res.Latencies, lats...)
 	}
 	res.Queries = int(queriesOK.Load())
 	res.Writes = int(writesOK.Load())
+	res.WriterCycles = int(writerCycles.Load())
 	res.Rejected = rejected.Load()
 	res.Errors = errors.Load()
 	res.Mismatches = mismatches.Load()
@@ -278,6 +315,10 @@ func containsID(ids []int32, id int32) bool {
 func PrintLoadgen(w io.Writer, r *LoadgenResult) {
 	fmt.Fprintf(w, "%d clients, %d queries ok, %d write cycles in %v -> %.0f queries/s\n",
 		r.Clients, r.Queries, r.Writes, r.Wall.Round(time.Millisecond), r.QPS())
+	if r.Writers > 0 {
+		fmt.Fprintf(w, "writers: %d goroutines completed %d insert→verify→delete cycles (%.0f cycles/s)\n",
+			r.Writers, r.WriterCycles, float64(r.WriterCycles)/r.Wall.Seconds())
+	}
 	fmt.Fprintf(w, "latency: mean %v  p50 %v  p95 %v  p99 %v  max %v\n",
 		stats.Mean(r.Latencies), stats.Percentile(r.Latencies, 50),
 		stats.Percentile(r.Latencies, 95), stats.Percentile(r.Latencies, 99),

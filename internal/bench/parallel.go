@@ -16,10 +16,11 @@ import (
 type ThroughputSeries struct {
 	Name       string
 	Build      time.Duration // index construction time
-	Goroutines int           // client goroutines
+	Goroutines int           // client goroutines (readers, in mixed mode)
 	Queries    int           // queries answered
 	Wall       time.Duration // wall-clock time for the whole workload
 	Results    int64         // total result IDs returned (for validation)
+	Writes     int64         // insert→delete cycles completed (mixed mode only)
 }
 
 // QPS returns the measured queries per second.
@@ -65,6 +66,93 @@ func RunParallel(name string, build func() QueryIndex, queries []geom.Box, g int
 	wg.Wait()
 	s.Wall = time.Since(t0)
 	s.Results = results.Load()
+	return s
+}
+
+// UpdatableIndex is the index interface RunParallelMixed's writer
+// goroutines need on top of QueryIndex. The sharded engine satisfies it.
+type UpdatableIndex interface {
+	QueryIndex
+	Insert(objs ...geom.Object) error
+	Delete(id int32, hint geom.Box) (bool, error)
+}
+
+// mixedWriteBase is the first object ID mixed-mode writers use, far above
+// any generator-produced dataset ID so write traffic never collides with
+// the base data.
+const mixedWriteBase int32 = 1 << 30
+
+// RunParallelMixed builds an index with build() and drains the query
+// workload with `readers` goroutines while `writers` goroutines
+// continuously run insert→delete cycles against it (small objects placed at
+// the centers of workload queries, so the write traffic lands where the
+// read traffic looks). The run ends when the readers drain the workload;
+// Writes reports the completed write cycles. It measures the mixed
+// crack/read regime of a live engine, where exclusive writers and shared
+// readers contend for the same shards.
+func RunParallelMixed(name string, build func() UpdatableIndex, queries []geom.Box, readers, writers int) *ThroughputSeries {
+	if readers < 1 {
+		readers = 1
+	}
+	if writers < 0 {
+		writers = 0
+	}
+	s := &ThroughputSeries{Name: name, Goroutines: readers, Queries: len(queries)}
+	t0 := time.Now()
+	ix := build()
+	s.Build = time.Since(t0)
+
+	var next, results, writes atomic.Int64
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	for w := 0; w < writers && len(queries) > 0; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			id := mixedWriteBase + int32(w)*1_000_000
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(i*writers+w)%len(queries)]
+				obj := geom.Object{Box: geom.BoxAt(q.Center(), 1), ID: id + int32(i%1_000_000)}
+				if ix.Insert(obj) != nil {
+					return // sub-index does not support updates
+				}
+				if _, err := ix.Delete(obj.ID, obj.Box); err != nil {
+					return
+				}
+				writes.Add(1)
+			}
+		}(w)
+	}
+	var rwg sync.WaitGroup
+	t0 = time.Now()
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			var buf []int32
+			var total int64
+			for {
+				qi := int(next.Add(1)) - 1
+				if qi >= len(queries) {
+					break
+				}
+				buf = ix.Query(queries[qi], buf[:0])
+				total += int64(len(buf))
+			}
+			results.Add(total)
+		}()
+	}
+	rwg.Wait()
+	s.Wall = time.Since(t0)
+	close(stop)
+	wwg.Wait()
+	s.Results = results.Load()
+	s.Writes = writes.Load()
 	return s
 }
 

@@ -34,6 +34,65 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestRunParallelMixed drives readers and writers through the sharded
+// engine at once: the workload must drain completely and the writers must
+// make progress. (Result totals are not compared against a read-only run:
+// a reader may legitimately observe another writer's in-flight insert.)
+func TestRunParallelMixed(t *testing.T) {
+	data := dataset.Uniform(3000, 33)
+	queries := workload.Uniform(dataset.Universe(), 400, 1e-3, 34)
+
+	mixed := RunParallelMixed("sharded-mixed", func() UpdatableIndex {
+		return shard.New(data, shard.Config{Shards: 2})
+	}, queries, 3, 2)
+	if mixed.Queries != len(queries) {
+		t.Fatalf("answered %d queries, want %d", mixed.Queries, len(queries))
+	}
+	if mixed.Writes == 0 {
+		t.Fatal("writer goroutines completed no insert→delete cycles")
+	}
+	if mixed.Wall <= 0 || mixed.QPS() <= 0 {
+		t.Fatalf("no wall time measured: %+v", mixed)
+	}
+}
+
+// TestRunReadScaling smoke-runs the read-scaling harness on tiny inputs and
+// checks cross-engine validation plus the table printer.
+func TestRunReadScaling(t *testing.T) {
+	data := dataset.Uniform(2000, 35)
+	queries := workload.Uniform(dataset.Universe(), 60, 1e-3, 36)
+	build := func(disableShared bool) func(bool) QueryIndex {
+		return func(converged bool) QueryIndex {
+			ix := shard.New(data, shard.Config{Shards: 1, DisableSharedReads: disableShared})
+			if converged {
+				ix.Complete()
+			}
+			return ix
+		}
+	}
+	points, err := RunReadScaling(ReadScalingConfig{
+		Engines: []ReadScaleEngine{
+			{Name: "exclusive", Build: build(true)},
+			{Name: "shared", Build: build(false)},
+		},
+		Queries:    queries,
+		Goroutines: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 2; len(points) != want { // phases x goroutines x engines
+		t.Fatalf("got %d points, want %d", len(points), want)
+	}
+	var sb strings.Builder
+	PrintReadScaling(&sb, points)
+	for _, want := range []string{"phase converged", "phase mixed", "shared", "exclusive"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
 func TestValidateResults(t *testing.T) {
 	a := &ThroughputSeries{Name: "a", Queries: 10, Results: 100}
 	b := &ThroughputSeries{Name: "b", Queries: 10, Results: 100}

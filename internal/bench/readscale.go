@@ -1,0 +1,137 @@
+// Read-scaling throughput harness: how does query throughput scale with
+// client goroutines on ONE shard? This is the measurement behind the
+// concurrent read-path engine — the sharded engine's inter-shard
+// parallelism is a separate axis (see RunParallel / the throughput
+// experiment); here every query lands on the same shard, so any scaling
+// comes from the shard's internal concurrency: the RWMutex shared read path
+// on converged slices versus the exclusive-lock baseline.
+//
+// Two phases are measured, mirroring QUASII's lifecycle:
+//
+//   - converged: the index is fully refined before measurement (the
+//     builder's responsibility); every query rides the shared read path,
+//     the regime the paper's R-tree comparison lives in.
+//   - mixed:     a cold index answers the same workload while it cracks,
+//     measuring how reads behave when exclusive refinement interleaves.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+)
+
+// ReadScalePoint is one measured (phase, engine, goroutines) cell.
+type ReadScalePoint struct {
+	Phase      string  `json:"phase"`      // "converged" or "mixed"
+	Engine     string  `json:"engine"`     // e.g. "shared" or "exclusive"
+	Goroutines int     `json:"goroutines"` // client goroutines
+	QPS        float64 `json:"qps"`
+	Results    int64   `json:"results"` // total result IDs (cross-engine validation)
+}
+
+// ReadScalingConfig parameterizes RunReadScaling.
+type ReadScalingConfig struct {
+	// Engines maps an engine name to its builder. Each builder is invoked
+	// fresh per (phase, goroutines) cell. For the converged phase the
+	// builder receives converged == true and must return an index that is
+	// already fully refined (e.g. by pre-draining the workload or calling
+	// the sub-indexes' Complete); for the mixed phase it must return a cold
+	// index that still cracks.
+	Engines []ReadScaleEngine
+	// Queries is the shared workload every cell drains.
+	Queries []geom.Box
+	// Goroutines is the client-count sweep, e.g. [1, 2, 4, 8].
+	Goroutines []int
+	// SkipMixed drops the cold-index phase (useful when only the converged
+	// scaling matters).
+	SkipMixed bool
+}
+
+// ReadScaleEngine names one engine variant under measurement.
+type ReadScaleEngine struct {
+	Name  string
+	Build func(converged bool) QueryIndex
+}
+
+// RunReadScaling measures every (phase, engine, goroutines) cell and
+// returns the points in measurement order. Within one (phase, goroutines)
+// pair, all engines must agree on the total result cardinality; a
+// disagreement is returned as an error (a concurrency bug, not noise).
+func RunReadScaling(cfg ReadScalingConfig) ([]ReadScalePoint, error) {
+	phases := []struct {
+		name      string
+		converged bool
+	}{{"converged", true}}
+	if !cfg.SkipMixed {
+		phases = append(phases, struct {
+			name      string
+			converged bool
+		}{"mixed", false})
+	}
+	var points []ReadScalePoint
+	for _, ph := range phases {
+		for _, g := range cfg.Goroutines {
+			var ref *ThroughputSeries
+			for _, e := range cfg.Engines {
+				e := e
+				conv := ph.converged
+				s := RunParallel(e.Name, func() QueryIndex { return e.Build(conv) }, cfg.Queries, g)
+				if ref == nil {
+					ref = s
+				} else if err := ValidateResults(ref, s); err != nil {
+					return nil, fmt.Errorf("read scaling %s/g=%d: %w", ph.name, g, err)
+				}
+				points = append(points, ReadScalePoint{
+					Phase:      ph.name,
+					Engine:     e.Name,
+					Goroutines: g,
+					QPS:        s.QPS(),
+					Results:    s.Results,
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// PrintReadScaling writes one table per phase: a row per (engine,
+// goroutines) cell with the speedup of each cell over that engine's first
+// measured cell (self-scale) and over the first engine's cell at the same
+// goroutine count (vs-base — typically shared over exclusive, the
+// cross-engine headline).
+func PrintReadScaling(w io.Writer, points []ReadScalePoint) {
+	byPhase := map[string][]ReadScalePoint{}
+	var order []string
+	for _, p := range points {
+		if _, seen := byPhase[p.Phase]; !seen {
+			order = append(order, p.Phase)
+		}
+		byPhase[p.Phase] = append(byPhase[p.Phase], p)
+	}
+	for _, phase := range order {
+		fmt.Fprintf(w, "  phase %s:\n", phase)
+		fmt.Fprintf(w, "  %-12s %4s %12s %10s %9s\n", "engine", "g", "queries/s", "self-scale", "vs-base")
+		selfBase := map[string]float64{} // engine -> its first cell's QPS
+		gBase := map[int]float64{}       // goroutines -> first engine's QPS there
+		for _, p := range byPhase[phase] {
+			if _, ok := selfBase[p.Engine]; !ok {
+				selfBase[p.Engine] = p.QPS
+			}
+			if _, ok := gBase[p.Goroutines]; !ok {
+				gBase[p.Goroutines] = p.QPS
+			}
+			scale, vsBase := 1.0, 1.0
+			if b := selfBase[p.Engine]; b > 0 {
+				scale = p.QPS / b
+			}
+			if b := gBase[p.Goroutines]; b > 0 {
+				vsBase = p.QPS / b
+			}
+			fmt.Fprintf(w, "  %-12s %4d %12.0f %9.2fx %8.2fx\n",
+				p.Engine, p.Goroutines, p.QPS, scale, vsBase)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/colstore"
 	"repro/internal/geom"
@@ -86,12 +87,13 @@ const DefaultTau = 60
 // cumulative and monotone; they exist to explain convergence behaviour.
 // With Config.DisableStats set, every counter stays zero.
 type Stats struct {
-	Queries        int   // queries executed
+	Queries        int   // queries executed on the exclusive path
 	Cracks         int   // two-way partition passes over some sub-array
 	CrackedObjects int64 // total objects moved across all crack passes (upper bound: elements scanned)
 	SlicesCreated  int   // slices materialized (all levels)
 	ObjectsTested  int64 // objects tested for final intersection
 	ResultObjects  int64 // objects reported
+	SharedQueries  int64 // queries answered on the optimistic shared read path (see shared.go)
 }
 
 // slice is one node of QUASII's hierarchy. It covers data[lo:hi) and lives at
@@ -114,6 +116,24 @@ func (s *slice) size() int { return s.hi - s.lo }
 type sliceList struct {
 	slices []*slice
 	maxExt float64
+}
+
+// lowerBound returns the index of the first slice whose lower bound in dim
+// is >= key — the sibling binary search of the query fast path. Callers
+// must have checked the AssignLower precondition (sibling Min is monotone
+// only under lower-corner assignment) and that maxExt is finite. The search
+// is hand-rolled so the hot path carries no sort.Search closure.
+func (l *sliceList) lowerBound(key float64, dim int) int {
+	lo, hi := 0, len(l.slices)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if l.slices[m].box.Min[dim] < key {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
 }
 
 func (l *sliceList) noteExtent(s *slice, dim int) {
@@ -141,6 +161,25 @@ type Index struct {
 	arena   sliceArena // chunked allocator for slice nodes
 	noStats bool
 	stats   Stats
+
+	// epoch is the crack epoch: a monotonic counter bumped by every
+	// structural mutation (crack, splice, finalization, child creation,
+	// update, flush). The optimistic shared read path (shared.go) validates
+	// it to detect a racing writer; on a converged index it never moves, so
+	// shared readers never fall back. Atomic because shared readers load it
+	// without holding the caller's exclusive lock.
+	epoch atomic.Uint64
+	// sharedQueries counts queries answered on the shared read path. It is
+	// the one counter that path maintains (atomically: shared queries run
+	// concurrently with each other); the plain Stats counters stay exclusive
+	// to the write path.
+	sharedQueries atomic.Int64
+	// remCracks is the crack budget of the query in flight: the number of
+	// partition passes it may still perform. -1 means unlimited (the
+	// default); 0 makes refine leave slices uncracked, to be finished by
+	// later queries, with correctness preserved by scanning the unrefined
+	// ranges. Set by QueryBudgeted, reset to -1 afterwards.
+	remCracks int
 }
 
 // New builds a QUASII index over data. The objects are ingested into the
@@ -156,10 +195,11 @@ func New(data []geom.Object, cfg Config) *Index {
 		cfg.Seed = 1
 	}
 	ix := &Index{
-		cfg:     cfg,
-		data:    colstore.FromObjects(data),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		noStats: cfg.DisableStats,
+		cfg:       cfg,
+		data:      colstore.FromObjects(data),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		noStats:   cfg.DisableStats,
+		remCracks: -1,
 	}
 	ix.maxExt = ix.data.MaxExtents()
 	ix.dataMBB = ix.data.MBB(0, ix.data.Len())
@@ -199,8 +239,14 @@ func (ix *Index) computeTaus() {
 // tombstoned ones.
 func (ix *Index) Len() int { return ix.data.Len() + len(ix.pending) - len(ix.deleted) }
 
-// Stats returns a snapshot of the cumulative work counters.
-func (ix *Index) Stats() Stats { return ix.stats }
+// Stats returns a snapshot of the cumulative work counters. SharedQueries is
+// folded in from its atomic home, so Stats may be called under shared access
+// concurrently with shared-path queries.
+func (ix *Index) Stats() Stats {
+	st := ix.stats
+	st.SharedQueries = ix.sharedQueries.Load()
+	return st
+}
 
 // Tau returns the refinement threshold at the given level (0 = x).
 func (ix *Index) Tau(level int) int { return ix.tau[level] }
@@ -280,6 +326,24 @@ func (ix *Index) Query(q geom.Box, out []int32) []int32 {
 	return out
 }
 
+// QueryBudgeted answers q exactly like Query but performs at most budget
+// crack (partition) passes, leaving the remaining refinement to later
+// queries: once the budget is spent, oversized slices are answered by
+// scanning their rows instead of cracking them, so results stay exact while
+// the mutation work per call is bounded. This is the paper's incremental
+// philosophy applied to lock hold time — the sharded engine uses it to keep
+// exclusive sections short so concurrent shared readers never stall behind a
+// cold region. A negative budget means unlimited (identical to Query).
+func (ix *Index) QueryBudgeted(q geom.Box, out []int32, budget int) []int32 {
+	if budget < 0 {
+		budget = -1
+	}
+	ix.remCracks = budget
+	out = ix.Query(q, out)
+	ix.remCracks = -1
+	return out
+}
+
 // queryPositions is Query's engine: it appends the data-array positions of
 // matching objects instead of their IDs (used by KNN to reach the boxes).
 func (ix *Index) queryPositions(q geom.Box, out []int32) []int32 {
@@ -292,10 +356,14 @@ func (ix *Index) queryPositions(q geom.Box, out []int32) []int32 {
 	return ix.queryList(q, ix.root, 0, out)
 }
 
-// Count returns the number of objects intersecting q (refining the index as
-// a side effect, exactly like Query).
+// Count returns the number of objects intersecting q. On a converged index
+// it counts via the read-only shared walk — no refinement, no allocation —
+// so callers like /stats probes never force the exclusive path; otherwise it
+// falls back to Query (refining the index as a side effect).
 func (ix *Index) Count(q geom.Box) int {
-	// Reuse Query through a small buffer to keep one code path.
+	if n, ok := ix.CountShared(q); ok {
+		return n
+	}
 	res := ix.Query(q, nil)
 	return len(res)
 }
@@ -307,22 +375,11 @@ func (ix *Index) queryList(q geom.Box, list *sliceList, dim int, out []int32) []
 	// Sibling boxes' Min is monotone only under lower-corner assignment
 	// (bands partition the representative coordinate, and Min *is* the
 	// representative there); the ablation modes scan the whole list and rely
-	// on the per-slice box test. The search is hand-rolled so the hot path
-	// carries no sort.Search closure.
+	// on the per-slice box test.
 	fastPath := ix.cfg.Assign == AssignLower && !math.IsInf(list.maxExt, 1)
 	var i int
 	if fastPath {
-		searchKey := q.Min[dim] - list.maxExt
-		lo, hi := 0, len(list.slices)
-		for lo < hi {
-			m := int(uint(lo+hi) >> 1)
-			if list.slices[m].box.Min[dim] < searchKey {
-				lo = m + 1
-			} else {
-				hi = m
-			}
-		}
-		i = lo
+		i = list.lowerBound(q.Min[dim]-list.maxExt, dim)
 	}
 
 	// Replacements produced by refinement: original index -> new slices.
@@ -400,6 +457,7 @@ func (ix *Index) createDefaultChild(s *slice) {
 	child.refined = s.refined && child.size() <= ix.tau[child.level]
 	s.children = &sliceList{slices: []*slice{child}}
 	s.children.noteExtent(child, child.level)
+	ix.epoch.Add(1)
 	if !ix.noStats {
 		ix.stats.SlicesCreated++
 	}
@@ -430,6 +488,7 @@ func (ix *Index) splice(list *sliceList, replaced map[int][]*slice, dim int) {
 	for _, s := range out {
 		list.noteExtent(s, dim)
 	}
+	ix.epoch.Add(1)
 }
 
 // refine implements Algorithm 2: slice s is cracked on the (extended) query
@@ -441,6 +500,13 @@ func (ix *Index) refine(s *slice, q geom.Box) []*slice {
 	dim := s.level
 	if s.size() <= ix.tau[dim] {
 		ix.finalize(s)
+		return []*slice{s}
+	}
+	// Crack budget exhausted: leave the slice uncracked. The caller still
+	// answers correctly — processSlice descends (creating pass-through
+	// children) until the bottom level scans the whole range — and a later
+	// query with fresh budget finishes the refinement.
+	if ix.remCracks == 0 {
 		return []*slice{s}
 	}
 
@@ -526,6 +592,9 @@ func (ix *Index) artificial(b *slice, dim int, qlo, qhi float64, out []*slice) [
 		ix.finalize(b)
 		return append(out, b)
 	}
+	if ix.remCracks == 0 {
+		return append(out, b) // budget exhausted: later queries finish the split
+	}
 	bMin, bMax := ix.lowerRange(b, dim)
 	if bMax <= bMin {
 		// All representative coordinates coincide: the slice cannot be split
@@ -585,6 +654,10 @@ func (ix *Index) partition(lo, hi int, dim int, pivot float64) (mid int, left, r
 		ix.stats.Cracks++
 		ix.stats.CrackedObjects += int64(hi - lo)
 	}
+	if ix.remCracks > 0 {
+		ix.remCracks--
+	}
+	ix.epoch.Add(1)
 	return ix.data.Partition(lo, hi, dim, pivot, ix.keyMode())
 }
 
@@ -621,6 +694,7 @@ func (ix *Index) finalize(s *slice) {
 	}
 	s.box = ix.data.MBB(s.lo, s.hi)
 	s.refined = true
+	ix.epoch.Add(1)
 }
 
 // finalizeFragment finalizes a fragment fresh out of a crack pass: its box
@@ -634,6 +708,8 @@ func (ix *Index) finalizeFragment(f *slice, dim int) {
 		f.box.Min[d], f.box.Max[d] = ix.data.LaneBounds(d, f.lo, f.hi)
 	}
 	f.refined = true
+	// No epoch bump: the fragment is not yet reachable from the hierarchy
+	// (its partition pass already bumped, and splice will bump on attach).
 }
 
 // --- Introspection and invariant checking (used by tests and tools) ---

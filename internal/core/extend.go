@@ -84,6 +84,7 @@ func (ix *Index) completeSlice(s *slice, dim int) []*slice {
 // scanned linearly by every query until Flush folds them into the indexed
 // lanes. IDs need not be unique, but results are reported by ID.
 func (ix *Index) Append(objs ...geom.Object) {
+	ix.epoch.Add(1)
 	ix.pending = append(ix.pending, objs...)
 	for i := range objs {
 		for d := 0; d < geom.Dims; d++ {
@@ -109,6 +110,7 @@ func (ix *Index) Delete(id int32, hint geom.Box) bool {
 	// A pending object can be removed outright.
 	for i := range ix.pending {
 		if ix.pending[i].ID == id && ix.pending[i].Intersects(hint) {
+			ix.epoch.Add(1)
 			ix.pending = append(ix.pending[:i], ix.pending[i+1:]...)
 			return true
 		}
@@ -119,6 +121,7 @@ func (ix *Index) Delete(id int32, hint geom.Box) bool {
 			if ix.deleted == nil {
 				ix.deleted = make(map[int32]struct{})
 			}
+			ix.epoch.Add(1)
 			ix.deleted[id] = struct{}{}
 			return true
 		}
@@ -138,6 +141,7 @@ func (ix *Index) Flush() {
 	if len(ix.pending) == 0 && len(ix.deleted) == 0 {
 		return
 	}
+	ix.epoch.Add(1)
 	if len(ix.deleted) > 0 {
 		ix.data.Compact(ix.deleted)
 		ix.deleted = nil

@@ -59,7 +59,7 @@ func (ix *Index) Save(w io.Writer) error {
 		DataMBB: ix.dataMBB,
 		Tau:     ix.tau,
 		Root:    encodeList(ix.root),
-		Stats:   ix.stats,
+		Stats:   ix.Stats(), // folds the atomic SharedQueries counter in
 	}
 	return gob.NewEncoder(w).Encode(&snap)
 }
@@ -78,17 +78,22 @@ func Load(r io.Reader) (*Index, error) {
 		seed = 1
 	}
 	ix := &Index{
-		cfg:     snap.Cfg,
-		data:    colstore.FromObjects(snap.Data),
-		pending: snap.Pending,
-		deleted: deletedSet(snap.Deleted),
-		maxExt:  snap.MaxExt,
-		dataMBB: snap.DataMBB,
-		tau:     snap.Tau,
-		rng:     rand.New(rand.NewSource(seed)),
-		noStats: snap.Cfg.DisableStats,
-		stats:   snap.Stats,
+		cfg:       snap.Cfg,
+		data:      colstore.FromObjects(snap.Data),
+		pending:   snap.Pending,
+		deleted:   deletedSet(snap.Deleted),
+		maxExt:    snap.MaxExt,
+		dataMBB:   snap.DataMBB,
+		tau:       snap.Tau,
+		rng:       rand.New(rand.NewSource(seed)),
+		noStats:   snap.Cfg.DisableStats,
+		stats:     snap.Stats,
+		remCracks: -1,
 	}
+	// SharedQueries lives in an atomic counter outside the plain Stats block;
+	// move the persisted value back home so Stats() keeps folding it in.
+	ix.sharedQueries.Store(snap.Stats.SharedQueries)
+	ix.stats.SharedQueries = 0
 	ix.root = ix.decodeList(snap.Root, 0)
 	if ix.root == nil {
 		ix.root = &sliceList{}

@@ -1,0 +1,281 @@
+// The optimistic shared read path. QUASII converges toward R-tree-like
+// behaviour precisely because, after enough queries, most slices are final
+// and never cracked again — so the steady state the paper celebrates is a
+// read-mostly structure that should be queried under shared access, not
+// behind an exclusive lock. The entry points below walk the slice hierarchy
+// without mutating anything: no finalization, no child creation, no
+// cracking, no plain-counter stats. A query whose touched region is fully
+// refined is answered in place; any slice that still needs work makes the
+// walk bail out so the caller can retry on the exclusive path (Query /
+// QueryBudgeted), which alone mutates the hierarchy and bumps the crack
+// epoch.
+//
+// # Safety contract
+//
+// Any number of shared-path calls may run concurrently with each other.
+// They must not run concurrently with the exclusive path or with updates —
+// the sharded engine guarantees that with a per-shard RWMutex (readers take
+// the read lock, cracking queries the write lock). The crack epoch is the
+// belt to that suspenders: every walk records the epoch first and validates
+// it after, so even a misuse race (a writer sneaking in between the
+// caller's decision and the walk) is detected and turned into a fallback
+// instead of a wrong answer.
+package core
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Epoch returns the crack epoch: a monotonic counter that moves on every
+// structural mutation and stands still exactly when the index does. Two
+// equal Epoch reads bracketing a shared walk prove the walk saw a frozen
+// structure. Safe to call concurrently with anything.
+func (ix *Index) Epoch() uint64 { return ix.epoch.Load() }
+
+// Converged reports whether a query touching the whole universe would stay
+// on the shared path: no pending inserts and every materialized slice
+// refined down to the bottom level. It is a read-only full walk — O(slices)
+// — intended for scheduling decisions, not hot loops.
+func (ix *Index) Converged() bool {
+	if len(ix.pending) > 0 {
+		return false
+	}
+	var walk func(l *sliceList, dim int) bool
+	walk = func(l *sliceList, dim int) bool {
+		for _, s := range l.slices {
+			if !s.refined {
+				return false
+			}
+			if dim < geom.Dims-1 {
+				if s.children == nil || !walk(s.children, dim+1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return ix.root == nil || walk(ix.root, 0)
+}
+
+// QueryShared answers q on the optimistic shared read path: a read-only
+// walk over the already-refined slice hierarchy. On success it appends the
+// matching IDs to out (exactly what Query would return) and reports true.
+// It reports false — with out unchanged — when any touched slice still
+// needs refinement or the crack epoch moved mid-walk; the caller must then
+// retry on the exclusive path. On a converged index the call is
+// allocation-free when out has capacity.
+func (ix *Index) QueryShared(q geom.Box, out []int32) ([]int32, bool) {
+	start := len(out)
+	e := ix.epoch.Load()
+	if ix.data.Len() > 0 && !q.IsEmpty() {
+		var ok bool
+		out, ok = ix.queryListShared(q, ix.root, 0, out)
+		if !ok || ix.epoch.Load() != e {
+			return out[:start], false
+		}
+		// Translate array positions to IDs in place, filtering tombstones —
+		// the same post-pass as Query, reading the lanes only.
+		ids := ix.data.ID
+		if ix.deleted == nil {
+			for i := start; i < len(out); i++ {
+				out[i] = ids[out[i]]
+			}
+		} else {
+			w := start
+			for i := start; i < len(out); i++ {
+				id := ids[out[i]]
+				if _, dead := ix.deleted[id]; dead {
+					continue
+				}
+				out[w] = id
+				w++
+			}
+			out = out[:w]
+		}
+	}
+	// Appended objects are unindexed until Flush; scanning them linearly is
+	// read-only, so the shared path serves them too.
+	if len(ix.pending) > 0 && !q.IsEmpty() {
+		for i := range ix.pending {
+			if ix.pending[i].Intersects(q) {
+				out = append(out, ix.pending[i].ID)
+			}
+		}
+	}
+	// Honors DisableStats like every other counter — and keeps the one
+	// shared cache line off the hot path when instrumentation is off.
+	if !ix.noStats {
+		ix.sharedQueries.Add(1)
+	}
+	return out, true
+}
+
+// queryListShared is the read-only mirror of queryList: same sibling binary
+// search, same descent, but any slice that the exclusive path would have to
+// touch — finalize, give a child, or crack — aborts the walk instead.
+func (ix *Index) queryListShared(q geom.Box, list *sliceList, dim int, out []int32) ([]int32, bool) {
+	fastPath := ix.cfg.Assign == AssignLower && !math.IsInf(list.maxExt, 1)
+	var i int
+	if fastPath {
+		i = list.lowerBound(q.Min[dim]-list.maxExt, dim)
+	}
+	for ; i < len(list.slices); i++ {
+		s := list.slices[i]
+		if fastPath && s.box.Min[dim] > q.Max[dim] {
+			break
+		}
+		if !s.box.Intersects(q) {
+			continue
+		}
+		if !s.refined {
+			return out, false // needs finalization or cracking: exclusive work
+		}
+		if dim == geom.Dims-1 {
+			out = ix.data.ScanIntersect(s.lo, s.hi, q, out)
+			continue
+		}
+		if s.children == nil {
+			return out, false // lazy child creation is exclusive work
+		}
+		var ok bool
+		out, ok = ix.queryListShared(q, s.children, dim+1, out)
+		if !ok {
+			return out, false
+		}
+	}
+	return out, true
+}
+
+// CountShared counts the objects intersecting q on the shared read path,
+// reporting false when the walk would need exclusive work. Without
+// tombstones the count comes from a walk that never materializes positions
+// (the colstore count kernel), so it is allocation-free regardless of the
+// result cardinality.
+func (ix *Index) CountShared(q geom.Box) (int, bool) {
+	if len(ix.deleted) > 0 {
+		// Tombstone filtering needs the ID lane per match; collect positions
+		// through the ordinary shared walk instead of duplicating it.
+		res, ok := ix.QueryShared(q, nil)
+		return len(res), ok
+	}
+	e := ix.epoch.Load()
+	n := 0
+	if ix.data.Len() > 0 && !q.IsEmpty() {
+		var ok bool
+		n, ok = ix.countListShared(q, ix.root, 0)
+		if !ok || ix.epoch.Load() != e {
+			return 0, false
+		}
+	}
+	if !q.IsEmpty() {
+		for i := range ix.pending {
+			if ix.pending[i].Intersects(q) {
+				n++
+			}
+		}
+	}
+	if !ix.noStats {
+		ix.sharedQueries.Add(1)
+	}
+	return n, true
+}
+
+// countListShared mirrors queryListShared but only counts matches.
+func (ix *Index) countListShared(q geom.Box, list *sliceList, dim int) (int, bool) {
+	fastPath := ix.cfg.Assign == AssignLower && !math.IsInf(list.maxExt, 1)
+	var i int
+	if fastPath {
+		i = list.lowerBound(q.Min[dim]-list.maxExt, dim)
+	}
+	n := 0
+	for ; i < len(list.slices); i++ {
+		s := list.slices[i]
+		if fastPath && s.box.Min[dim] > q.Max[dim] {
+			break
+		}
+		if !s.box.Intersects(q) {
+			continue
+		}
+		if !s.refined {
+			return 0, false
+		}
+		if dim == geom.Dims-1 {
+			n += ix.data.CountIntersect(s.lo, s.hi, q)
+			continue
+		}
+		if s.children == nil {
+			return 0, false
+		}
+		c, ok := ix.countListShared(q, s.children, dim+1)
+		if !ok {
+			return 0, false
+		}
+		n += c
+	}
+	return n, true
+}
+
+// KNNShared answers a k-nearest-neighbor query on the shared read path. It
+// reports false when the probed region is not yet converged, or when
+// pending inserts or tombstones require the exclusive path's Flush. The
+// search mirrors KNN: an expanding probe cube plus one exactness pass, all
+// probes read-only.
+func (ix *Index) KNNShared(p geom.Point, k int) ([]Neighbor, bool) {
+	if len(ix.pending) > 0 || len(ix.deleted) > 0 {
+		return nil, false // KNN folds updates in first (Flush): exclusive work
+	}
+	if k <= 0 || ix.data.Len() == 0 {
+		return nil, true
+	}
+	if k > ix.data.Len() {
+		k = ix.data.Len()
+	}
+	e := ix.epoch.Load()
+	span := ix.dataMBB
+	side := math.Cbrt(span.Volume() * 2 * float64(k) / float64(ix.data.Len()))
+	if side <= 0 || math.IsNaN(side) {
+		side = 1
+	}
+	maxSide := 0.0
+	for d := 0; d < geom.Dims; d++ {
+		if e := span.Extent(d); e > maxSide {
+			maxSide = e
+		}
+	}
+	var pos []int32
+	var ok bool
+	for {
+		pos, ok = ix.queryListShared(geom.BoxAt(p, side), ix.root, 0, pos[:0])
+		if !ok {
+			return nil, false
+		}
+		if len(pos) >= k || side > 2*maxSide+1 {
+			break
+		}
+		side *= 2
+	}
+	if len(pos) < k {
+		pos, ok = ix.queryListShared(span.Expand(geom.Point{1, 1, 1}), ix.root, 0, pos[:0])
+		if !ok {
+			return nil, false
+		}
+	}
+	nn := ix.rank(pos, p, k)
+	if len(nn) >= k {
+		radius := math.Sqrt(nn[k-1].DistSq)
+		pos, ok = ix.queryListShared(geom.BoxAt(p, 2*radius+1e-9), ix.root, 0, pos[:0])
+		if !ok {
+			return nil, false
+		}
+		nn = ix.rank(pos, p, k)
+	}
+	if ix.epoch.Load() != e {
+		return nil, false
+	}
+	if !ix.noStats {
+		ix.sharedQueries.Add(1)
+	}
+	return nn, true
+}

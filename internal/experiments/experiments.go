@@ -574,17 +574,18 @@ func GridSweep(w io.Writer, sc Scale) (*Result, error) {
 
 // Registry maps figure names to drivers for the CLI.
 var Registry = map[string]func(io.Writer, Scale) (*Result, error){
-	"fig6a":      Fig6a,
-	"fig6b":      Fig6b,
-	"fig7":       Fig7,
-	"fig8":       Fig8,
-	"fig9":       Fig9,
-	"fig10":      Fig10,
-	"fig11":      Fig11,
-	"fig12":      Fig12,
-	"gridsweep":  GridSweep,
-	"patterns":   Patterns,
-	"throughput": Throughput,
+	"fig6a":       Fig6a,
+	"fig6b":       Fig6b,
+	"fig7":        Fig7,
+	"fig8":        Fig8,
+	"fig9":        Fig9,
+	"fig10":       Fig10,
+	"fig11":       Fig11,
+	"fig12":       Fig12,
+	"gridsweep":   GridSweep,
+	"patterns":    Patterns,
+	"throughput":  Throughput,
+	"readscaling": ReadScaling,
 }
 
 // Order lists the figures in paper order for "run everything".

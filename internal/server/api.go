@@ -165,6 +165,9 @@ type IndexStats struct {
 	Cracks      int   `json:"core_cracks"`
 	Slices      int   `json:"core_slices_created"`
 	Tested      int64 `json:"core_objects_tested"`
+	// SharedQueries counts queries answered on the lock-shared read path
+	// (converged regions); core_queries counts the exclusive-path ones.
+	SharedQueries int64 `json:"core_shared_queries"`
 }
 
 // StatsResponse answers GET /stats.

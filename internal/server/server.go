@@ -127,9 +127,11 @@ func New(ix *shard.Index, cfg Config) *Server {
 	s.route("/knn", true, []string{http.MethodPost}, s.handleKNN)
 	s.route("/insert", true, []string{http.MethodPost}, s.handleInsert)
 	s.route("/delete", true, []string{http.MethodPost}, s.handleDelete)
-	// /stats takes every shard lock, so it goes through admission like any
-	// other request; /healthz stays outside admission but is lock-free, so
-	// a busy-but-healthy server always answers its liveness probe.
+	// /stats read-locks every shard (it rides with the shared read path on
+	// a converged engine, but still queues behind cracking writers), so it
+	// goes through admission like any other request; /healthz stays outside
+	// admission but is lock-free, so a busy-but-healthy server always
+	// answers its liveness probe.
 	s.route("/stats", true, []string{http.MethodGet}, s.handleStats)
 	s.route("/healthz", false, []string{http.MethodGet}, s.handleHealthz)
 	return s
@@ -461,17 +463,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		UptimeSeconds: uptime.Seconds(),
 		Index: IndexStats{
-			Objects:     st.Objects,
-			Shards:      st.Shards,
-			MinShardLen: st.MinShardLen,
-			MaxShardLen: st.MaxShardLen,
-			OverflowLen: st.OverflowLen,
-			Pending:     st.Pending,
-			Deleted:     st.Deleted,
-			Queries:     st.Core.Queries,
-			Cracks:      st.Core.Cracks,
-			Slices:      st.Core.SlicesCreated,
-			Tested:      st.Core.ObjectsTested,
+			Objects:       st.Objects,
+			Shards:        st.Shards,
+			MinShardLen:   st.MinShardLen,
+			MaxShardLen:   st.MaxShardLen,
+			OverflowLen:   st.OverflowLen,
+			Pending:       st.Pending,
+			Deleted:       st.Deleted,
+			Queries:       st.Core.Queries,
+			Cracks:        st.Core.Cracks,
+			Slices:        st.Core.SlicesCreated,
+			Tested:        st.Core.ObjectsTested,
+			SharedQueries: st.Core.SharedQueries,
 		},
 		Admission: s.adm.stats(),
 		Batcher:   s.bat.stats(),

@@ -20,16 +20,28 @@ type NearestNeighborer interface {
 	KNN(p geom.Point, k int) []core.Neighbor
 }
 
+// SharedNearestNeighborer is the optional sub-index interface that answers
+// KNN on the shared read path: KNNShared must be read-only (safe under the
+// shard's read lock, concurrently with other shared calls) and report
+// ok == false when the probed region still needs exclusive refinement.
+// The default QUASII sub-indexes satisfy it.
+type SharedNearestNeighborer interface {
+	KNNShared(p geom.Point, k int) ([]core.Neighbor, bool)
+}
+
 // ErrNoKNN is returned by KNN when the shard sub-indexes (built by a custom
 // Config.New) do not satisfy NearestNeighborer.
 var ErrNoKNN = errors.New("shard: sub-index does not support KNN (NearestNeighborer)")
 
 // KNN returns the k objects nearest to p (by minimum box distance), closest
 // first, with IDs as a deterministic tie-break. Shards are probed nearest
-// bounding box first, each under its own lock, and probing stops once the
-// next shard's box is farther than the current k-th neighbor. Like every
-// QUASII query, each probe refines the probed shard as a side effect. Safe
-// for concurrent use; concurrent updates may or may not be reflected.
+// bounding box first, and probing stops once the next shard's box is
+// farther than the current k-th neighbor. A probe first attempts the
+// sub-index's shared read path under the read lock — on a converged shard,
+// KNN traffic proceeds in parallel with range queries and other KNNs — and
+// only falls back to the exclusive lock (refining the shard as a side
+// effect, like every QUASII query) when the probed region is still cold.
+// Safe for concurrent use; concurrent updates may or may not be reflected.
 func (ix *Index) KNN(p geom.Point, k int) ([]core.Neighbor, error) {
 	if k <= 0 {
 		return nil, nil
@@ -49,13 +61,22 @@ func (ix *Index) KNN(p geom.Point, k int) ([]core.Neighbor, error) {
 		if len(best) >= k && c.d > best[len(best)-1].DistSq {
 			break
 		}
-		nn, ok := c.sh.sub.(NearestNeighborer)
-		if !ok {
-			return nil, ErrNoKNN
+		var found []core.Neighbor
+		done := false
+		if c.sh.sharedNN != nil {
+			c.sh.mu.RLock()
+			found, done = c.sh.sharedNN.KNNShared(p, k)
+			c.sh.mu.RUnlock()
 		}
-		c.sh.mu.Lock()
-		found := nn.KNN(p, k)
-		c.sh.mu.Unlock()
+		if !done {
+			nn, ok := c.sh.sub.(NearestNeighborer)
+			if !ok {
+				return nil, ErrNoKNN
+			}
+			c.sh.mu.Lock()
+			found = nn.KNN(p, k)
+			c.sh.mu.Unlock()
+		}
 		best = mergeNeighbors(best, found, k)
 	}
 	return best, nil

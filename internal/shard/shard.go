@@ -5,19 +5,30 @@
 // own sub-index — QUASII by default, any constructor via Config.New — and
 // its own mutex.
 //
-// Concurrency comes from two directions:
+// Concurrency comes from three directions:
 //
 //   - Inter-query: concurrent queries that touch disjoint shards proceed
 //     fully in parallel. Because the shards tile the data spatially, a
 //     low-selectivity query typically overlaps one or two shard bounding
 //     boxes, so P shards sustain close to P-way query parallelism, where
 //     the single global mutex of internal/syncidx sustains exactly 1.
+//   - Intra-shard: each shard is guarded by an RWMutex, not a mutex. A
+//     query first attempts the sub-index's optimistic shared read path
+//     (core.Index.QueryShared) under the read lock: on a converged region —
+//     QUASII's steady state, where slices are final and never cracked again
+//     — any number of queries proceed through one shard in parallel. Only
+//     when the shared walk reports unfinished refinement does the query
+//     retry under the write lock, and then with a bounded crack budget
+//     (Config.CrackBudget) so the exclusive section stays short and
+//     readers never stall behind a cold region; the leftover refinement is
+//     finished by later queries, the paper's incremental philosophy
+//     applied to lock hold time.
 //   - Intra-query: a large query overlapping many shards fans out across a
 //     bounded worker pool and merges the per-shard ID sets.
 //
-// Adaptive sub-indexes still crack on every query — the per-shard mutex
-// makes that safe — so the engine turns QUASII's adaptive indexing into a
-// multi-core system without touching the cracking code itself.
+// Adaptive sub-indexes still crack — the per-shard write lock makes that
+// safe — so the engine turns QUASII's adaptive indexing into a multi-core
+// system without touching the cracking code itself.
 //
 // The engine also accepts live updates (see Insert, Delete, Flush in
 // update.go) and k-nearest-neighbor queries (KNN in knn.go) when the
@@ -38,6 +49,24 @@ import (
 type Queryable interface {
 	Len() int
 	Query(q geom.Box, out []int32) []int32
+}
+
+// SharedQueryable is the optional sub-index interface behind the concurrent
+// read path. QueryShared must be a read-only query: safe to run from any
+// number of goroutines at once (the engine holds the shard's read lock),
+// returning ok == false when the touched region still needs exclusive
+// refinement work. Epoch must move on every structural mutation and stand
+// still otherwise. The default QUASII sub-indexes (core.Index) qualify.
+type SharedQueryable interface {
+	QueryShared(q geom.Box, out []int32) ([]int32, bool)
+	Epoch() uint64
+}
+
+// BudgetedQueryable is the optional sub-index interface that bounds the
+// mutation work of one exclusive query (see Config.CrackBudget). The
+// default QUASII sub-indexes qualify.
+type BudgetedQueryable interface {
+	QueryBudgeted(q geom.Box, out []int32, budget int) []int32
 }
 
 // Config controls sharding. The zero value is usable: GOMAXPROCS shards,
@@ -66,7 +95,26 @@ type Config struct {
 	New func(data []geom.Object) Queryable
 	// SubConfig configures the default QUASII sub-indexes when New is nil.
 	SubConfig core.Config
+	// CrackBudget bounds the crack (partition) passes one exclusive query
+	// may perform on a shard whose sub-index supports QueryBudgeted: the
+	// query refines up to that many passes and answers the rest by
+	// scanning, leaving the remainder to later queries. This keeps write
+	// sections short so concurrent shared readers are never stuck behind a
+	// cold region. 0 selects DefaultCrackBudget; negative disables the
+	// bound (every exclusive query refines to completion, the pre-RWMutex
+	// behaviour).
+	CrackBudget int
+	// DisableSharedReads forces every query through the exclusive path
+	// even when the sub-index supports QueryShared. It exists for ablation
+	// benchmarks (the exclusive-lock baseline) and as an escape hatch.
+	DisableSharedReads bool
 }
+
+// DefaultCrackBudget is the per-query crack budget when Config.CrackBudget
+// is 0. Crack passes shrink geometrically as refinement deepens, so 64
+// passes let a warm shard converge in a handful of queries while bounding
+// one cold query's write-lock hold to a few sweeps over the shard.
+const DefaultCrackBudget = 64
 
 // Stats aggregates the state and work counters of all shards. Core sums the
 // QUASII work counters of every sub-index that exposes them (sub-indexes
@@ -85,18 +133,31 @@ type Stats struct {
 // statser is satisfied by sub-indexes that report QUASII work counters.
 type statser interface{ Stats() core.Stats }
 
-// shardEntry is one spatial shard: a sub-index behind its own lock, the
-// fixed bounding box of the objects assigned to it at build time (the tile,
-// which routes inserts), and the live bounding box actually covered by its
-// objects, which starts as the tile box and grows when an inserted object
-// overhangs it. Queries read the live box lock-free, so it sits behind an
-// atomic pointer and only ever grows (monotone, like QUASII's own maxExt
-// bookkeeping): deletions never shrink it, which is conservative but always
-// correct.
+// shardEntry is one spatial shard: a sub-index behind its own read-write
+// lock, the fixed bounding box of the objects assigned to it at build time
+// (the tile, which routes inserts), and the live bounding box actually
+// covered by its objects, which starts as the tile box and grows when an
+// inserted object overhangs it. Queries read the live box lock-free, so it
+// sits behind an atomic pointer and only ever grows (monotone, like
+// QUASII's own maxExt bookkeeping): deletions never shrink it, which is
+// conservative but always correct.
+//
+// The lock discipline: the shared query path (shared/sharedNN, when the
+// sub-index supports it) runs under mu.RLock — many queries through one
+// shard in parallel — while anything that may mutate the sub-index (the
+// exclusive query fallback, updates, flushes) takes mu.Lock.
 type shardEntry struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	sub  Queryable
 	tile geom.Box // build-time STR tile MBB; immutable, routes inserts
+
+	// Optional capabilities of sub, resolved once at construction so the
+	// hot path carries no type assertions; nil when unsupported (or when
+	// Config.DisableSharedReads turned the read path off).
+	shared      SharedQueryable
+	sharedNN    SharedNearestNeighborer
+	budgeted    BudgetedQueryable
+	crackBudget int // per-exclusive-query crack budget; < 0 = unlimited
 
 	bounds atomic.Pointer[geom.Box] // live MBB; read lock-free by queries
 }
@@ -126,6 +187,10 @@ type Index struct {
 	build   func([]geom.Object) Queryable
 	tileMBB geom.Box // union of the build-time tiles; routes inserts
 	workers int
+	// crackBudget and noShared carry the Config knobs to shards built after
+	// construction (the lazy overflow shard).
+	crackBudget int
+	noShared    bool
 	// sem globally bounds intra-query fan-out goroutines across all
 	// concurrent Query calls. Slots are never acquired nested, so the
 	// semaphore cannot deadlock.
@@ -157,11 +222,13 @@ func New(data []geom.Object, cfg Config) *Index {
 	}
 	parts := partition(data, p)
 	ix := &Index{shards: make([]*shardEntry, len(parts)), build: build, tileMBB: geom.EmptyBox()}
+	ix.crackBudget = cfg.CrackBudget
+	if ix.crackBudget == 0 {
+		ix.crackBudget = DefaultCrackBudget
+	}
+	ix.noShared = cfg.DisableSharedReads
 	for i, part := range parts {
-		sh := &shardEntry{
-			sub:  build(part),
-			tile: geom.MBB(part),
-		}
+		sh := ix.newEntry(build(part), geom.MBB(part))
 		sh.bounds.Store(&sh.tile)
 		ix.shards[i] = sh
 		ix.tileMBB = ix.tileMBB.Extend(sh.tile)
@@ -179,6 +246,24 @@ func New(data []geom.Object, cfg Config) *Index {
 	ix.sem = make(chan struct{}, ix.workers)
 	ix.count.Store(int64(len(data)))
 	return ix
+}
+
+// newEntry wraps a sub-index into a shard entry, resolving its optional
+// shared-path capabilities once.
+func (ix *Index) newEntry(sub Queryable, tile geom.Box) *shardEntry {
+	sh := &shardEntry{sub: sub, tile: tile, crackBudget: ix.crackBudget}
+	if !ix.noShared {
+		if sq, ok := sub.(SharedQueryable); ok {
+			sh.shared = sq
+		}
+		if nn, ok := sub.(SharedNearestNeighborer); ok {
+			sh.sharedNN = nn
+		}
+	}
+	if bq, ok := sub.(BudgetedQueryable); ok {
+		sh.budgeted = bq
+	}
+	return sh
 }
 
 // NumShards returns the effective spatial shard count (≤ Config.Shards for
@@ -202,13 +287,14 @@ func (ix *Index) forEach(f func(sh *shardEntry)) {
 	}
 }
 
-// Len returns the total number of live objects, locking each shard in turn.
+// Len returns the total number of live objects, read-locking each shard in
+// turn (Len never mutates a sub-index, so it rides with shared readers).
 func (ix *Index) Len() int {
 	n := 0
 	ix.forEach(func(sh *shardEntry) {
-		sh.mu.Lock()
+		sh.mu.RLock()
 		n += sh.sub.Len()
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	})
 	return n
 }
@@ -220,7 +306,9 @@ func (ix *Index) Len() int {
 // cracking query is unacceptable, e.g. liveness probes.
 func (ix *Index) ApproxLen() int { return int(ix.count.Load()) }
 
-// Stats locks each shard in turn and returns the aggregated counters.
+// Stats read-locks each shard in turn and returns the aggregated counters.
+// Collection is read-only, so on a converged index a /stats probe never
+// blocks (or is blocked by) the concurrent query traffic.
 func (ix *Index) Stats() Stats {
 	st := Stats{Shards: len(ix.shards)}
 	for i, sh := range ix.shards {
@@ -240,8 +328,8 @@ func (ix *Index) Stats() Stats {
 
 // collect folds one shard's counters into st and returns its live size.
 func (ix *Index) collect(sh *shardEntry, st *Stats) int {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	n := sh.sub.Len()
 	st.Objects += n
 	if s, ok := sh.sub.(statser); ok {
@@ -252,6 +340,7 @@ func (ix *Index) collect(sh *shardEntry, st *Stats) int {
 		st.Core.SlicesCreated += cs.SlicesCreated
 		st.Core.ObjectsTested += cs.ObjectsTested
 		st.Core.ResultObjects += cs.ResultObjects
+		st.Core.SharedQueries += cs.SharedQueries
 	}
 	if up, ok := sh.sub.(Updatable); ok {
 		st.Pending += up.Pending()
@@ -260,6 +349,40 @@ func (ix *Index) collect(sh *shardEntry, st *Stats) int {
 		st.Deleted += d.Deleted()
 	}
 	return n
+}
+
+// Complete finishes all outstanding refinement in every sub-index that
+// supports it (the default QUASII sub-indexes do), shard by shard under
+// each shard's write lock. Afterwards — until the next update — every query
+// rides the shared read path, so Complete is the idle-time lever that turns
+// an adaptive engine into its fully concurrent converged form.
+func (ix *Index) Complete() {
+	ix.forEach(func(sh *shardEntry) {
+		if c, ok := sh.sub.(interface{ Complete() }); ok {
+			sh.mu.Lock()
+			c.Complete()
+			sh.mu.Unlock()
+		}
+	})
+}
+
+// CheckInvariants validates the structural invariants of every sub-index
+// that exposes them (the default QUASII sub-indexes do), under each shard's
+// write lock so a quiesced check sees a frozen structure. It returns the
+// first violation found. Intended for tests and stress harnesses.
+func (ix *Index) CheckInvariants() error {
+	var err error
+	ix.forEach(func(sh *shardEntry) {
+		if err != nil {
+			return
+		}
+		if ci, ok := sh.sub.(interface{ CheckInvariants() error }); ok {
+			sh.mu.Lock()
+			err = ci.CheckInvariants()
+			sh.mu.Unlock()
+		}
+	})
+	return err
 }
 
 // overlapping appends every shard whose live bounds intersect q, in shard
@@ -277,10 +400,27 @@ func (ix *Index) overlapping(q geom.Box, hit []*shardEntry) []*shardEntry {
 	return hit
 }
 
-// queryShard answers q against one shard under its lock.
+// queryShard answers q against one shard: first the optimistic shared read
+// path under the read lock (converged regions answer fully in parallel),
+// then — only if the shared walk found unfinished refinement — the
+// exclusive path under the write lock, crack-budgeted so the write section
+// stays short. Sub-indexes without shared support keep the old exclusive
+// behaviour.
 func queryShard(sh *shardEntry, q geom.Box, out []int32) []int32 {
+	if sh.shared != nil {
+		sh.mu.RLock()
+		res, ok := sh.shared.QueryShared(q, out)
+		sh.mu.RUnlock()
+		if ok {
+			return res
+		}
+	}
 	sh.mu.Lock()
-	out = sh.sub.Query(q, out)
+	if sh.budgeted != nil && sh.crackBudget >= 0 {
+		out = sh.budgeted.QueryBudgeted(q, out, sh.crackBudget)
+	} else {
+		out = sh.sub.Query(q, out)
+	}
 	sh.mu.Unlock()
 	return out
 }
@@ -320,11 +460,15 @@ func (ix *Index) Query(q geom.Box, out []int32) []int32 {
 		select {
 		case ix.sem <- struct{}{}:
 			wg.Add(1)
-			go func(k int, buf *[]int32) {
+			// The goroutine receives its shard entry as an argument rather
+			// than capturing hit: a closure over hit would force the
+			// stack-allocated hitBuf to the heap, costing the single-shard
+			// fast path an allocation per query.
+			go func(sh *shardEntry, buf *[]int32) {
 				defer wg.Done()
-				*buf = queryShard(hit[k], q, (*buf)[:0])
+				*buf = queryShard(sh, q, (*buf)[:0])
 				<-ix.sem
-			}(k, buf)
+			}(hit[k], buf)
 		default:
 			*buf = queryShard(hit[k], q, (*buf)[:0])
 		}

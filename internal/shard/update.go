@@ -7,9 +7,12 @@
 // # Consistency contract
 //
 // Each object lives in exactly one shard, and every shard-level operation
-// runs under that shard's mutex, so the engine provides per-object
-// atomicity: an Insert or Delete that has returned is visible to every
-// query that starts afterwards. There is no multi-object or cross-shard
+// runs under that shard's read-write lock — updates and cracking queries
+// exclusively, converged read-path queries sharing the read lock — so the
+// engine provides per-object atomicity: an Insert or Delete that has
+// returned is visible to every query that starts afterwards (the shared
+// read path scans the pending buffer and filters tombstones exactly like
+// the exclusive path). There is no multi-object or cross-shard
 // atomicity — a Query concurrent with a multi-object Insert may observe any
 // prefix of it, and a multi-shard Query locks its shards one at a time, so
 // two overlapping queries racing one update may disagree on whether they
@@ -107,7 +110,7 @@ func (ix *Index) ensureOverflow() (*shardEntry, error) {
 	if _, ok := sub.(Updatable); !ok {
 		return nil, ErrNotUpdatable
 	}
-	sh := &shardEntry{sub: sub, tile: geom.EmptyBox()}
+	sh := ix.newEntry(sub, geom.EmptyBox())
 	empty := geom.EmptyBox()
 	sh.bounds.Store(&empty)
 	ix.overflow.Store(sh)
@@ -162,9 +165,9 @@ func (ix *Index) Pending() int {
 	n := 0
 	ix.forEach(func(sh *shardEntry) {
 		if up, ok := sh.sub.(Updatable); ok {
-			sh.mu.Lock()
+			sh.mu.RLock()
 			n += up.Pending()
-			sh.mu.Unlock()
+			sh.mu.RUnlock()
 		}
 	})
 	return n

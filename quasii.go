@@ -290,15 +290,26 @@ func SynchronizeStatic(ix Index) *SynchronizedStatic { return syncidx.RWrap(ix) 
 type (
 	// Sharded is the sharded parallel index. It satisfies Index, is safe
 	// for concurrent use, and additionally offers QueryBatch and Stats.
+	// Each shard sits behind a read-write lock: queries over converged
+	// regions run through one shard concurrently on the sub-index's shared
+	// read path, while cracking queries fall back to the exclusive lock
+	// under a bounded crack budget (ShardedConfig.CrackBudget).
 	Sharded = shard.Index
 	// ShardedConfig configures sharding. The zero value selects GOMAXPROCS
-	// shards, an equally sized worker pool, and QUASII sub-indexes.
+	// shards, an equally sized worker pool, QUASII sub-indexes, and the
+	// default per-query crack budget; see CrackBudget and
+	// DisableSharedReads for the concurrency knobs.
 	ShardedConfig = shard.Config
-	// ShardedStats aggregates per-shard sizes and QUASII work counters.
+	// ShardedStats aggregates per-shard sizes and QUASII work counters
+	// (Core.SharedQueries counts queries answered on the shared read path).
 	ShardedStats = shard.Stats
 	// ShardQueryable is the interface a custom ShardedConfig.New sub-index
 	// constructor must return; every index in this package satisfies it.
 	ShardQueryable = shard.Queryable
+	// ShardSharedQueryable is the optional sub-index interface behind the
+	// concurrent (read-locked) query path of the sharded engine. QUASII
+	// sub-indexes satisfy it; custom constructors may too.
+	ShardSharedQueryable = shard.SharedQueryable
 )
 
 // NewSharded partitions data into spatial shards (STR tiling) and builds one
