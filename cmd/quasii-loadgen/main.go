@@ -11,7 +11,7 @@
 //	               [-selectivity 1e-3] [-skew 1.2] [-query-seed 2]
 //	               [-write-every 0] [-readers 0] [-writers 0]
 //	               [-oracle] [-n 200000] [-dataset uniform]
-//	               [-seed 1] [-retries 100]
+//	               [-seed 1] [-retries 100] [-wait 10s]
 //
 // With -oracle, the generator rebuilds the server's dataset locally (match
 // -n, -dataset and -seed to the quasii-serve flags) and compares every
@@ -22,6 +22,11 @@
 // goroutines run continuous insert→verify→delete cycles against the same
 // server — the end-to-end measurement of the engine's concurrent read path
 // under write contention.
+//
+// -wait D polls the target's /healthz for up to D before the run starts, so
+// a script can restart a durable quasii-serve (which replays its WAL before
+// listening) and immediately relaunch the generator — the kill-restart
+// oracle validation flow of scripts/persistence-smoke.sh.
 package main
 
 import (
@@ -56,6 +61,9 @@ func main() {
 	datasetName := flag.String("dataset", "uniform", "server dataset generator: uniform or neuro")
 	seed := flag.Int64("seed", 1, "server dataset RNG seed")
 	retries := flag.Int("retries", 100, "max 429 retries per request")
+	wait := flag.Duration("wait", 0,
+		"poll the server's /healthz for up to this long before starting "+
+			"(lets a script restart quasii-serve and the load generator back to back)")
 	flag.Parse()
 
 	// The dataset is only materialized when something needs it: the oracle,
@@ -101,6 +109,7 @@ func main() {
 		WriteEvery: *writeEvery,
 		Writers:    *writers,
 		MaxRetries: *retries,
+		WaitReady:  *wait,
 	}
 	if *oracle {
 		sc := quasii.NewScan(loadData())

@@ -1,7 +1,12 @@
 // Command quasii-report runs the full evaluation and emits a Markdown report
-// of measured headline numbers, one section per paper figure — a regenerable
-// companion to EXPERIMENTS.md. The full figure output (tables, charts) goes
-// to stderr so the report on stdout stays clean:
+// of measured headline numbers, one section per paper figure. The checked-in
+// EXPERIMENTS.md at the repository root is this command's output at the
+// small scale; regenerate it after changes to the experiment drivers with
+//
+//	go run ./cmd/quasii-report -scale small -o EXPERIMENTS.md
+//
+// The full figure output (tables, charts) goes to stderr so the report on
+// stdout stays clean:
 //
 //	quasii-report -scale medium > report.md 2> figures.log
 package main
@@ -42,6 +47,11 @@ func main() {
 	}
 
 	fmt.Fprintf(w, "# QUASII reproduction report\n\n")
+	fmt.Fprintf(w, "<!-- Generated file. Regenerate with:\n")
+	fmt.Fprintf(w, "       go run ./cmd/quasii-report -scale %s -o EXPERIMENTS.md\n", scale.Name)
+	fmt.Fprintf(w, "     Absolute times vary per machine; the comparative notes are the\n")
+	fmt.Fprintf(w, "     stable signal. -->\n\n")
+	fmt.Fprintf(w, "Regenerate with `go run ./cmd/quasii-report -scale %s -o EXPERIMENTS.md`.\n\n", scale.Name)
 	fmt.Fprintf(w, "Scale `%s` (uniform %d / neuro %d objects, %d clustered / %d uniform queries), seed %d.\n\n",
 		scale.Name, scale.UniformN, scale.NeuroN, scale.ClusteredQueries, scale.UniformQueries, scale.Seed)
 	fmt.Fprintf(w, "Every index in every figure returned identical result counts on every query\n")

@@ -1,19 +1,31 @@
 // Command quasii-serve runs the HTTP/JSON query service over a sharded
 // QUASII index: the paper's in-process adaptive index turned into a network
-// server with request batching, admission control, live updates, and
-// metrics.
+// server with request batching, admission control, live updates, metrics,
+// and (with -data-dir) durable persistence with warm restart.
 //
 // Usage:
 //
 //	quasii-serve [-addr :8080] [-n 200000] [-dataset uniform|neuro] [-seed 1]
 //	             [-shards P] [-workers W] [-batch-window 2ms] [-batch-limit 64]
 //	             [-max-inflight 1024] [-exec-slots 0] [-flush-every 4096]
+//	             [-data-dir DIR] [-fsync always|interval|never]
+//	             [-fsync-interval 100ms] [-checkpoint-every 100000]
 //	             [-pprof :6060]
 //
-// The server builds the requested synthetic dataset (the same generators
-// the paper's evaluation uses, so a quasii-loadgen started with matching
-// -n/-dataset/-seed can validate every response against a local oracle)
-// and serves:
+// Without -data-dir the server builds the requested synthetic dataset (the
+// same generators the paper's evaluation uses, so a quasii-loadgen started
+// with matching -n/-dataset/-seed can validate every response against a
+// local oracle) and serves it from memory only.
+//
+// With -data-dir the server is durable: on first start the synthetic
+// dataset bootstraps the directory, on every later start the index is
+// restored from the latest snapshot — all accumulated refinement included,
+// so the warm restart skips the convergence cost — and the write-ahead log
+// is replayed. /insert and /delete are logged before they are acknowledged
+// (-fsync selects the cadence), POST /snapshot checkpoints on demand,
+// -checkpoint-every N checkpoints automatically after N accepted updates,
+// and SIGTERM/SIGINT triggers a graceful shutdown: stop accepting requests,
+// write a final snapshot, truncate the log, exit 0.
 //
 //	POST /query    {"min":[x,y,z],"max":[x,y,z]}             range query
 //	GET  /query?min=x,y,z&max=x,y,z                          curl-friendly form
@@ -21,11 +33,12 @@
 //	POST /knn      {"point":[x,y,z],"k":5}                   k nearest neighbors
 //	POST /insert   {"objects":[{"id":7,"min":...,"max":...}]} live insert
 //	POST /delete   {"id":7,"hint":{...}}                     live delete
+//	POST /snapshot                                           checkpoint now
 //	GET  /stats                                              metrics and engine state
 //	GET  /healthz                                            liveness
 //
 // Overload answers 429 (with Retry-After) once -max-inflight requests are
-// in flight; see the README's Serving section for the knobs.
+// in flight; see the README's Serving and Durability sections for the knobs.
 //
 // With -pprof the standard net/http/pprof handlers are served on a separate
 // listener, so production-shaped load (driven by quasii-loadgen) can be
@@ -36,12 +49,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served via -pprof
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	quasii "repro"
@@ -60,26 +76,64 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 1024, "admission budget; excess requests get 429")
 	execSlots := flag.Int("exec-slots", 0, "concurrent index executions (0 = GOMAXPROCS)")
 	flushEvery := flag.Int("flush-every", 4096, "fold pending updates in after this many (0 = never)")
+	dataDir := flag.String("data-dir", "",
+		"durable data directory (snapshots + write-ahead log); empty serves from memory only")
+	fsync := flag.String("fsync", "always",
+		"WAL fsync policy with -data-dir: always, interval or never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond,
+		"background WAL sync cadence with -fsync interval")
+	checkpointEvery := flag.Int("checkpoint-every", 100000,
+		"write a snapshot and truncate the WAL after this many accepted updates (0 = manual only)")
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof on this address (e.g. :6060); empty disables")
 	flag.Parse()
 
-	var data []quasii.Object
-	switch *datasetName {
-	case "uniform":
-		data = quasii.UniformDataset(*n, *seed)
-	case "neuro":
-		data = quasii.NeuroDataset(*n, *seed, quasii.NeuroConfig{})
-	default:
+	buildData := func() []quasii.Object {
+		switch *datasetName {
+		case "uniform":
+			return quasii.UniformDataset(*n, *seed)
+		case "neuro":
+			return quasii.NeuroDataset(*n, *seed, quasii.NeuroConfig{})
+		}
 		fmt.Fprintf(os.Stderr, "unknown dataset %q (want uniform or neuro)\n", *datasetName)
 		os.Exit(2)
+		return nil
 	}
 
+	shardCfg := quasii.ShardedConfig{Shards: *shards, Workers: *workers}
+	var ix *quasii.Sharded
+	var store *quasii.Store
 	t0 := time.Now()
-	ix := quasii.NewSharded(data, quasii.ShardedConfig{Shards: *shards, Workers: *workers})
-	fmt.Printf("quasii-serve: %d %s objects in %d shards (built in %v, GOMAXPROCS %d)\n",
-		len(data), *datasetName, ix.NumShards(), time.Since(t0).Round(time.Millisecond),
-		runtime.GOMAXPROCS(0))
+	if *dataDir != "" {
+		policy := quasii.FsyncPolicy(*fsync)
+		switch policy {
+		case quasii.FsyncAlways, quasii.FsyncInterval, quasii.FsyncNever:
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -fsync policy %q (want always, interval or never)\n", *fsync)
+			os.Exit(2)
+		}
+		var err error
+		store, err = quasii.OpenStore(*dataDir, quasii.StoreConfig{
+			Shard:           shardCfg,
+			Bootstrap:       buildData,
+			Fsync:           policy,
+			FsyncEvery:      *fsyncInterval,
+			CheckpointEvery: *checkpointEvery,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quasii-serve: opening %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		ix = store.Index()
+		fmt.Printf("quasii-serve: %d objects from %s (snapshot seq %d, fsync %s, opened in %v)\n",
+			ix.Len(), *dataDir, store.Seq(), policy, time.Since(t0).Round(time.Millisecond))
+	} else {
+		data := buildData()
+		ix = quasii.NewSharded(data, shardCfg)
+		fmt.Printf("quasii-serve: %d %s objects in %d shards (built in %v, GOMAXPROCS %d)\n",
+			len(data), *datasetName, ix.NumShards(), time.Since(t0).Round(time.Millisecond),
+			runtime.GOMAXPROCS(0))
+	}
 	fmt.Printf("listening on %s  batch-window %v  batch-limit %d  max-inflight %d  flush-every %d\n",
 		*addr, *batchWindow, *batchLimit, *maxInFlight, *flushEvery)
 
@@ -95,13 +149,53 @@ func main() {
 		}()
 	}
 
-	err := quasii.Serve(*addr, ix, quasii.ServerConfig{
+	serverCfg := quasii.ServerConfig{
 		BatchWindow: *batchWindow,
 		BatchLimit:  *batchLimit,
 		MaxInFlight: *maxInFlight,
 		ExecSlots:   *execSlots,
 		FlushEvery:  *flushEvery,
-	})
+	}
+	if store != nil {
+		serverCfg.Durability = store
+	}
+	s := quasii.NewServer(ix, serverCfg)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	// Graceful shutdown: SIGTERM/SIGINT stops accepting requests, drains
+	// in-flight ones, then checkpoints so the next start is a warm restart
+	// with no WAL replay.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigCh
+		fmt.Printf("quasii-serve: %v: shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "quasii-serve: shutdown: %v\n", err)
+		}
+		if store != nil {
+			if err := store.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "quasii-serve: final snapshot: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("quasii-serve: final snapshot written")
+		}
+	}()
+
+	err := httpServer.ListenAndServe()
+	if err == http.ErrServerClosed {
+		<-done // wait for the final snapshot
+		return
+	}
 	fmt.Fprintf(os.Stderr, "quasii-serve: %v\n", err)
 	os.Exit(1)
 }

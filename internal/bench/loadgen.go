@@ -4,6 +4,7 @@
 // insert/delete cycles, validates every response against a local oracle,
 // and retries 429 backpressure rejections with exponential backoff — the
 // well-behaved-client half of the admission-control story.
+
 package bench
 
 import (
@@ -53,6 +54,13 @@ type LoadgenConfig struct {
 	Writers int
 	// MaxRetries bounds the 429 retries per request. 0 selects 100.
 	MaxRetries int
+	// WaitReady, when positive, polls the server's /healthz for up to that
+	// long before the run starts, so a driver script can launch (or
+	// restart) quasii-serve and the load generator back to back — the
+	// kill-restart validation flow needs this, since a restarting durable
+	// server replays its WAL before it listens. The run proceeds (and
+	// fails fast) if the deadline passes without a 200.
+	WaitReady time.Duration
 	// Client overrides the HTTP client (nil selects a pooled default).
 	Client *http.Client
 }
@@ -153,6 +161,9 @@ func RunLoadgen(cfg LoadgenConfig) *LoadgenResult {
 				MaxIdleConnsPerHost: clients,
 			},
 		}
+	}
+	if cfg.WaitReady > 0 {
+		waitHealthy(httpClient, cfg.BaseURL, cfg.WaitReady)
 	}
 	res := &LoadgenResult{Clients: clients, Writers: cfg.Writers}
 	var queriesOK, writesOK, writerCycles, rejected, errors, mismatches atomic.Int64
@@ -276,6 +287,27 @@ func (lc *loadgenClient) writeCycle(q geom.Box, id int32, oracle func(geom.Box) 
 		mismatches.Add(1)
 	}
 	return true
+}
+
+// waitHealthy polls GET /healthz until it answers 200 or the deadline
+// passes. Transport errors (server not yet listening) are expected and
+// retried; they are what the wait exists to absorb.
+func waitHealthy(client *http.Client, baseURL string, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(baseURL + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 // oracleMatch compares a response against the oracle's expected base IDs,

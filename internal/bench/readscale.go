@@ -13,6 +13,7 @@
 //     the regime the paper's R-tree comparison lives in.
 //   - mixed:     a cold index answers the same workload while it cracks,
 //     measuring how reads behave when exclusive refinement interleaves.
+
 package bench
 
 import (

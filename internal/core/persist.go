@@ -1,12 +1,26 @@
 // Persistence: a QUASII index is the product of the queries executed against
 // it, so being able to save and reload one preserves an exploration
 // session's accumulated refinement — the incremental-indexing equivalent of
-// shipping a pre-built index. Encoding uses encoding/gob over an exported
-// snapshot of the slice hierarchy and the (reorganized) data array.
+// shipping a pre-built index.
+//
+// Two on-disk formats exist:
+//
+//   - Version 2 (written by Save): a magic header, a length-prefixed gob
+//     block carrying the configuration, slice hierarchy and update buffers,
+//     and then the columnar lanes serialized directly (raw little-endian
+//     lane words with a trailing CRC — see colstore.WriteLanes). Writing
+//     streams the same contiguous memory the query kernels run over; no
+//     array-of-structs is materialized.
+//   - Version 1 (legacy, gob only): the whole snapshot — including the data
+//     as a []geom.Object — in a single gob stream. Load transparently reads
+//     both; new snapshots are always v2.
 
 package core
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -16,11 +30,25 @@ import (
 	"repro/internal/geom"
 )
 
-// snapshot is the gob-encoded on-disk form of an Index.
+// snapshot is the gob-encoded on-disk form of a version-1 Index.
 type snapshot struct {
 	Version int
 	Cfg     Config
 	Data    []geom.Object
+	Pending []geom.Object
+	Deleted []int32
+	MaxExt  geom.Point
+	DataMBB geom.Box
+	Tau     [geom.Dims]int
+	Root    *snapList
+	Stats   Stats
+}
+
+// snapshotV2 is the gob-encoded metadata block of a version-2 snapshot: the
+// v1 snapshot minus the data array, which follows as raw columnar lanes.
+type snapshotV2 struct {
+	Cfg     Config
+	DataLen int // rows in the lane block that follows
 	Pending []geom.Object
 	Deleted []int32
 	MaxExt  geom.Point
@@ -44,11 +72,58 @@ type snapSlice struct {
 
 const snapshotVersion = 1
 
-// Save serializes the index — data rows (materialized from the columnar
-// lanes so the on-disk format stays the AoS object array of version 1),
-// pending buffer, and the full slice hierarchy with its refinement state —
-// to w.
+// magicV2 starts every version-2 snapshot. A version-1 stream is a bare gob
+// stream, which cannot begin with these bytes (a gob message starts with a
+// small varint length), so Load can dispatch on an 8-byte peek.
+const magicV2 = "QZSNAP2\n"
+
+// maxHeaderBytes bounds the v2 metadata block so a corrupt length prefix
+// cannot force an enormous allocation. The hierarchy of an index with n
+// objects has O(n/τ) slices; 1 GiB of gob covers any realistic index.
+const maxHeaderBytes = 1 << 30
+
+// Save serializes the index to w in the version-2 columnar format: magic,
+// a length-prefixed gob block (configuration, update buffers, the full
+// slice hierarchy with its refinement state), then the data lanes written
+// directly from columnar storage.
 func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magicV2); err != nil {
+		return err
+	}
+	head := snapshotV2{
+		Cfg:     ix.cfg,
+		DataLen: ix.data.Len(),
+		Pending: ix.pending,
+		Deleted: deletedIDs(ix.deleted),
+		MaxExt:  ix.maxExt,
+		DataMBB: ix.dataMBB,
+		Tau:     ix.tau,
+		Root:    encodeList(ix.root),
+		Stats:   ix.Stats(), // folds the atomic SharedQueries counter in
+	}
+	var hb bytes.Buffer
+	if err := gob.NewEncoder(&hb).Encode(&head); err != nil {
+		return fmt.Errorf("encoding quasii snapshot header: %w", err)
+	}
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(hb.Len()))
+	if _, err := bw.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(hb.Bytes()); err != nil {
+		return err
+	}
+	if err := ix.data.WriteLanes(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// saveV1 writes the legacy single-gob format. It is kept (unexported) so
+// tests can exercise the v1 load path and the v1→v2 migration without
+// checked-in binary fixtures.
+func (ix *Index) saveV1(w io.Writer) error {
 	snap := snapshot{
 		Version: snapshotVersion,
 		Cfg:     ix.cfg,
@@ -59,42 +134,93 @@ func (ix *Index) Save(w io.Writer) error {
 		DataMBB: ix.dataMBB,
 		Tau:     ix.tau,
 		Root:    encodeList(ix.root),
-		Stats:   ix.Stats(), // folds the atomic SharedQueries counter in
+		Stats:   ix.Stats(),
 	}
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
-// Load reconstructs an index previously serialized with Save.
+// Load reconstructs an index previously serialized with Save, accepting
+// both the version-2 columnar format and legacy version-1 gob snapshots.
 func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	peek, err := br.Peek(len(magicV2))
+	if err == nil && string(peek) == magicV2 {
+		return loadV2(br)
+	}
+	// Not a v2 magic (or too short to carry one): try the v1 gob stream.
 	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("decoding quasii snapshot: %w", err)
 	}
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("unsupported quasii snapshot version %d", snap.Version)
 	}
-	seed := snap.Cfg.Seed
+	return buildIndex(snap.Cfg, colstore.FromObjects(snap.Data), snap.Pending,
+		snap.Deleted, snap.MaxExt, snap.DataMBB, snap.Tau, snap.Root, snap.Stats)
+}
+
+// loadV2 decodes the version-2 format after the magic has been peeked.
+func loadV2(br *bufio.Reader) (*Index, error) {
+	if _, err := br.Discard(len(magicV2)); err != nil {
+		return nil, err
+	}
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("reading quasii snapshot header length: %w", err)
+	}
+	hlen := binary.LittleEndian.Uint64(lenBuf[:])
+	if hlen > maxHeaderBytes {
+		return nil, fmt.Errorf("quasii snapshot header length %d out of range", hlen)
+	}
+	hb := make([]byte, int(hlen))
+	if _, err := io.ReadFull(br, hb); err != nil {
+		return nil, fmt.Errorf("reading quasii snapshot header: %w", err)
+	}
+	var head snapshotV2
+	if err := gob.NewDecoder(bytes.NewReader(hb)).Decode(&head); err != nil {
+		return nil, fmt.Errorf("decoding quasii snapshot header: %w", err)
+	}
+	if head.DataLen < 0 {
+		return nil, fmt.Errorf("corrupt quasii snapshot: negative row count %d", head.DataLen)
+	}
+	data := &colstore.Table{}
+	if err := data.ReadLanes(br, head.DataLen); err != nil {
+		return nil, fmt.Errorf("decoding quasii snapshot lanes: %w", err)
+	}
+	if data.Len() != head.DataLen {
+		return nil, fmt.Errorf("corrupt quasii snapshot: header says %d rows, lanes carry %d",
+			head.DataLen, data.Len())
+	}
+	return buildIndex(head.Cfg, data, head.Pending, head.Deleted,
+		head.MaxExt, head.DataMBB, head.Tau, head.Root, head.Stats)
+}
+
+// buildIndex reconstructs an Index from decoded snapshot fields (shared by
+// both format versions) and validates its structural invariants.
+func buildIndex(cfg Config, data *colstore.Table, pending []geom.Object, deleted []int32,
+	maxExt geom.Point, dataMBB geom.Box, tau [geom.Dims]int, root *snapList, st Stats) (*Index, error) {
+	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
 	}
 	ix := &Index{
-		cfg:       snap.Cfg,
-		data:      colstore.FromObjects(snap.Data),
-		pending:   snap.Pending,
-		deleted:   deletedSet(snap.Deleted),
-		maxExt:    snap.MaxExt,
-		dataMBB:   snap.DataMBB,
-		tau:       snap.Tau,
+		cfg:       cfg,
+		data:      data,
+		pending:   pending,
+		deleted:   deletedSet(deleted),
+		maxExt:    maxExt,
+		dataMBB:   dataMBB,
+		tau:       tau,
 		rng:       rand.New(rand.NewSource(seed)),
-		noStats:   snap.Cfg.DisableStats,
-		stats:     snap.Stats,
+		noStats:   cfg.DisableStats,
+		stats:     st,
 		remCracks: -1,
 	}
 	// SharedQueries lives in an atomic counter outside the plain Stats block;
 	// move the persisted value back home so Stats() keeps folding it in.
-	ix.sharedQueries.Store(snap.Stats.SharedQueries)
+	ix.sharedQueries.Store(st.SharedQueries)
 	ix.stats.SharedQueries = 0
-	ix.root = ix.decodeList(snap.Root, 0)
+	ix.root = ix.decodeList(root, 0)
 	if ix.root == nil {
 		ix.root = &sliceList{}
 	}

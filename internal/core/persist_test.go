@@ -113,6 +113,122 @@ func TestPersistEmptyIndex(t *testing.T) {
 	}
 }
 
+func TestSaveWritesV2Magic(t *testing.T) {
+	ix := New(dataset.Uniform(100, 1010), Config{})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(magicV2)) {
+		t.Fatalf("Save did not write the v2 magic, got prefix %q", buf.Bytes()[:8])
+	}
+}
+
+func TestLoadV1Snapshot(t *testing.T) {
+	// A legacy (gob-only) snapshot must keep loading through the same Load.
+	data := dataset.Uniform(3000, 1011)
+	oracle := scan.New(data)
+	ix := New(dataset.Clone(data), Config{Tau: 32})
+	for _, q := range workload.Uniform(dataset.Universe(), 50, 1e-3, 1012) {
+		ix.Query(q, nil)
+	}
+	var buf bytes.Buffer
+	if err := ix.saveV1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("loading v1 snapshot: %v", err)
+	}
+	if loaded.NumSlices() != ix.NumSlices() {
+		t.Fatalf("slices = %d, want %d", loaded.NumSlices(), ix.NumSlices())
+	}
+	for qi, q := range workload.Uniform(dataset.Universe(), 40, 1e-3, 1013) {
+		got := sortedIDs(loaded.Query(q, nil))
+		want := sortedIDs(oracle.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d after v1 load: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+}
+
+func TestMigrateV1ToV2(t *testing.T) {
+	// v1 → load → save (v2) → load must preserve structure, buffers and
+	// query answers: the upgrade path for pre-columnar snapshots.
+	data := dataset.Uniform(2000, 1014)
+	oracle := scan.New(data)
+	ix := New(dataset.Clone(data), Config{Tau: 32})
+	for _, q := range workload.Uniform(dataset.Universe(), 40, 1e-3, 1015) {
+		ix.Query(q, nil)
+	}
+	ix.Append(geom.Object{Box: geom.BoxAt(geom.Point{5, 5, 5}, 1), ID: 555555})
+	ix.Delete(data[7].ID, data[7].Box)
+
+	var v1 bytes.Buffer
+	if err := ix.saveV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := Load(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := mid.Save(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(v2.Bytes(), []byte(magicV2)) {
+		t.Fatal("migrated snapshot is not v2")
+	}
+	final, err := Load(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.NumSlices() != ix.NumSlices() {
+		t.Fatalf("slices = %d, want %d", final.NumSlices(), ix.NumSlices())
+	}
+	if final.Pending() != 1 || final.Deleted() != 1 {
+		t.Fatalf("pending/deleted = %d/%d, want 1/1", final.Pending(), final.Deleted())
+	}
+	deletedID := data[7].ID
+	for qi, q := range workload.Uniform(dataset.Universe(), 40, 1e-3, 1016) {
+		want := sortedIDs(oracle.Query(q, nil))
+		// Apply the update stream to the oracle answer.
+		w := want[:0]
+		for _, id := range want {
+			if id != deletedID {
+				w = append(w, id)
+			}
+		}
+		want = w
+		if q.Intersects(geom.BoxAt(geom.Point{5, 5, 5}, 1)) {
+			want = sortedIDs(append(want, 555555))
+		}
+		got := sortedIDs(final.Query(q, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d after migration: got %d, want %d", qi, len(got), len(want))
+		}
+	}
+}
+
+func TestLoadRejectsTamperedV2Header(t *testing.T) {
+	ix := New(dataset.Uniform(500, 1017), Config{Tau: 16})
+	for _, q := range workload.Uniform(dataset.Universe(), 10, 1e-2, 1018) {
+		ix.Query(q, nil)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Blow up the header length prefix (bytes 8..16).
+	for i := 8; i < 16; i++ {
+		raw[i] = 0xff
+	}
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("tampered header length accepted")
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(strings.NewReader("this is not a snapshot")); err == nil {
 		t.Fatal("garbage accepted")

@@ -20,6 +20,7 @@
 // it after, so even a misuse race (a writer sneaking in between the
 // caller's decision and the walk) is detected and turned into a fallback
 // instead of a wrong answer.
+
 package core
 
 import (

@@ -1,0 +1,470 @@
+// Package durable makes the sharded serving stack restartable: a Store
+// owns a shard.Index, a data directory, and a write-ahead log, and keeps
+// the invariant
+//
+//	durable state = latest complete snapshot + WAL tail
+//
+// at all times. Opening a directory restores the latest snapshot (every
+// shard's accumulated refinement included — nothing is re-cracked) and
+// replays the WAL records accepted after it was taken; a checkpoint writes
+// a fresh snapshot and retires the log.
+//
+// # Directory layout
+//
+//	CURRENT          text file naming the live snapshot sequence ("7\n")
+//	snap-0000007/    snapshot directory (shard files + manifest, see
+//	                 shard.Snapshot); immutable once CURRENT names it
+//	wal-0000007.log  updates accepted since snapshot 7
+//
+// # Crash safety
+//
+// Checkpointing is ordered so that a crash at any point recovers every
+// acknowledged update: the new snapshot directory is written and fsynced,
+// an empty successor WAL is created, CURRENT is atomically renamed over,
+// and only then is the old WAL retired — all while updates are paused (a
+// store-level write lock; queries keep flowing, and the per-shard files
+// are still written concurrently under shard read locks). A crash before
+// the CURRENT rename recovers from the old snapshot plus the old, complete
+// WAL; a crash after it recovers from the new snapshot plus an empty (or
+// missing, which reads as empty) WAL. Updates themselves are logged before
+// they are applied or acknowledged, so the WAL can only run ahead of the
+// in-memory state, never behind — replaying an unacknowledged tail record
+// after a crash is benign, losing an acknowledged one is impossible (under
+// FsyncAlways; the other policies trade the fsync for a bounded window).
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/shard"
+	"repro/internal/wal"
+)
+
+// FsyncPolicy names the WAL sync cadence. See wal.SyncPolicy.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways fsyncs every update before acknowledging it (default).
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval fsyncs on a background cadence (Options.FsyncEvery):
+	// a crash loses at most that window of acknowledged updates.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncNever leaves flushing to the operating system.
+	FsyncNever FsyncPolicy = "never"
+)
+
+// Options configures Open.
+type Options struct {
+	// Shard carries the engine's runtime knobs (Workers, CrackBudget,
+	// DisableSharedReads, SubConfig), applied both when bootstrapping and
+	// when restoring. Shard.New must be nil — persistence requires the
+	// default QUASII sub-indexes.
+	Shard shard.Config
+	// Bootstrap supplies the initial dataset when the directory holds no
+	// snapshot yet. Nil bootstraps an empty index.
+	Bootstrap func() []geom.Object
+	// Fsync selects the WAL durability/latency trade-off. Empty selects
+	// FsyncAlways.
+	Fsync FsyncPolicy
+	// FsyncEvery is the background sync cadence under FsyncInterval.
+	// 0 selects 100ms.
+	FsyncEvery time.Duration
+	// CheckpointEvery triggers an automatic checkpoint after that many
+	// accepted update operations (insert batches and deletes). 0 disables
+	// automatic checkpointing; Checkpoint and Close still snapshot.
+	CheckpointEvery int
+}
+
+// Store is a durable sharded index. Queries go straight to Index() — the
+// store adds no read-path overhead — while Insert and Delete are logged
+// before they are applied. All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+	ix   *shard.Index
+
+	// updMu orders updates against checkpoints: updates hold it shared, a
+	// checkpoint holds it exclusively across the snapshot + CURRENT + WAL
+	// rotation so the new snapshot is a precise cut: nothing acknowledged
+	// is missing from it, nothing in the successor WAL is already inside
+	// it.
+	updMu sync.RWMutex
+	// opMu makes one update's append+apply atomic with respect to other
+	// updates, so the WAL's record order always equals the order the
+	// operations reached the index: without it, a concurrent insert and
+	// delete of the same ID could apply in one order and replay in the
+	// other, making recovered state diverge from the acknowledged live
+	// state. Updates were already near-serial (the WAL mutex plus the
+	// per-update fsync), so the lost concurrency is the index apply only.
+	// Always acquired inside updMu's read side, never the other way.
+	opMu sync.Mutex
+	log  *wal.Log
+	seq  uint64
+
+	// ckptMu serializes whole checkpoints (the updMu exclusive section is
+	// only part of one).
+	ckptMu sync.Mutex
+
+	updates   atomic.Int64 // accepted update ops since the last checkpoint
+	ckptGate  atomic.Bool  // an automatic checkpoint is in flight
+	closed    atomic.Bool
+	syncStop  chan struct{}
+	syncGroup sync.WaitGroup
+}
+
+// ErrClosed is returned by update operations on a closed store.
+var ErrClosed = errors.New("durable: store is closed")
+
+const currentName = "CURRENT"
+
+func snapDirName(seq uint64) string { return fmt.Sprintf("snap-%07d", seq) }
+func walName(seq uint64) string     { return fmt.Sprintf("wal-%07d.log", seq) }
+
+// Open restores (or bootstraps) a durable store in dir, creating the
+// directory if needed. When a snapshot exists, the index is restored from
+// it and the matching WAL is replayed; otherwise Options.Bootstrap supplies
+// the initial data and an initial checkpoint is written before Open
+// returns, so a crash immediately after Open loses nothing.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Shard.New != nil {
+		return nil, shard.ErrNotPersistable
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts}
+
+	seq, ok, err := readCurrent(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		if err := s.bootstrap(); err != nil {
+			return nil, err
+		}
+	} else {
+		s.seq = seq
+		s.ix, err = shard.Restore(filepath.Join(dir, snapDirName(seq)), opts.Shard)
+		if err != nil {
+			return nil, fmt.Errorf("restoring snapshot %d: %w", seq, err)
+		}
+		// One pass over the log: replay the intact records, truncate the
+		// torn tail, keep the handle open for appending.
+		s.log, _, err = wal.OpenReplay(filepath.Join(dir, walName(seq)), s.walPolicy(), s.applyRecord)
+		if err != nil {
+			return nil, fmt.Errorf("replaying wal %d: %w", seq, err)
+		}
+	}
+
+	if s.walPolicy() == wal.SyncInterval {
+		every := opts.FsyncEvery
+		if every <= 0 {
+			every = 100 * time.Millisecond
+		}
+		s.syncStop = make(chan struct{})
+		s.syncGroup.Add(1)
+		go s.syncLoop(every)
+	}
+	return s, nil
+}
+
+func (s *Store) walPolicy() wal.SyncPolicy {
+	switch s.opts.Fsync {
+	case FsyncInterval:
+		return wal.SyncInterval
+	case FsyncNever:
+		return wal.SyncNever
+	default:
+		return wal.SyncAlways
+	}
+}
+
+// applyRecord replays one WAL record into the index.
+func (s *Store) applyRecord(r *wal.Record) error {
+	switch r.Op {
+	case wal.OpInsert:
+		return s.ix.Insert(r.Objects...)
+	case wal.OpDelete:
+		_, err := s.ix.Delete(r.ID, r.Hint)
+		return err
+	}
+	return fmt.Errorf("unknown wal opcode %d", r.Op)
+}
+
+// bootstrap builds the index from Options.Bootstrap and writes snapshot 1.
+func (s *Store) bootstrap() error {
+	var data []geom.Object
+	if s.opts.Bootstrap != nil {
+		data = s.opts.Bootstrap()
+	}
+	s.ix = shard.New(data, s.opts.Shard)
+	return s.rotateTo(1)
+}
+
+// Index returns the underlying sharded index. Queries (Query, QueryBatch,
+// KNN, Stats, ...) go directly through it; updates that must survive a
+// restart go through the store's Insert/Delete instead.
+func (s *Store) Index() *shard.Index { return s.ix }
+
+// Seq returns the sequence number of the live snapshot.
+func (s *Store) Seq() uint64 {
+	s.updMu.RLock()
+	defer s.updMu.RUnlock()
+	return s.seq
+}
+
+// WALSize returns the current write-ahead log length in bytes.
+func (s *Store) WALSize() int64 {
+	s.updMu.RLock()
+	defer s.updMu.RUnlock()
+	return s.log.Size()
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Insert durably inserts objs: the operation is appended to the WAL (and
+// fsynced, per policy) before it is applied or acknowledged.
+func (s *Store) Insert(objs ...geom.Object) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.updMu.RLock()
+	s.opMu.Lock()
+	err := s.log.AppendInsert(objs)
+	if err == nil {
+		err = s.ix.Insert(objs...)
+	}
+	s.opMu.Unlock()
+	s.updMu.RUnlock()
+	if err == nil {
+		s.noteUpdate()
+	}
+	return err
+}
+
+// Delete durably deletes the object with the given ID (see shard.Delete for
+// the hint semantics), logging before applying.
+func (s *Store) Delete(id int32, hint geom.Box) (bool, error) {
+	if s.closed.Load() {
+		return false, ErrClosed
+	}
+	s.updMu.RLock()
+	s.opMu.Lock()
+	err := s.log.AppendDelete(id, hint)
+	var found bool
+	if err == nil {
+		found, err = s.ix.Delete(id, hint)
+	}
+	s.opMu.Unlock()
+	s.updMu.RUnlock()
+	if err == nil {
+		s.noteUpdate()
+	}
+	return found, err
+}
+
+// noteUpdate counts one accepted update and triggers the automatic
+// checkpoint once the threshold is crossed. The checkpoint runs detached —
+// the unlucky update that crossed the line should not pay for writing every
+// shard — and the gate keeps at most one in flight.
+func (s *Store) noteUpdate() {
+	n := s.updates.Add(1)
+	if s.opts.CheckpointEvery <= 0 || n < int64(s.opts.CheckpointEvery) {
+		return
+	}
+	if s.ckptGate.CompareAndSwap(false, true) {
+		go func() {
+			defer s.ckptGate.Store(false)
+			if _, err := s.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) {
+				fmt.Fprintf(os.Stderr, "durable: automatic checkpoint: %v\n", err)
+			}
+		}()
+	}
+}
+
+// Checkpoint writes a new snapshot and retires the current WAL, returning
+// the new snapshot sequence. Updates are paused for the duration (queries
+// keep flowing); concurrent checkpoints are serialized.
+func (s *Store) Checkpoint() (uint64, error) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked rotates snapshot and WAL. Caller holds updMu (and
+// ckptMu) exclusively.
+func (s *Store) checkpointLocked() (uint64, error) {
+	oldLog := s.log
+	if err := s.rotateTo(s.seq + 1); err != nil {
+		// The rotation failed before any state was swapped: the store keeps
+		// running on the old generation (CURRENT untouched, old WAL still
+		// open and appending), so a failed checkpoint is an error, not an
+		// outage.
+		return 0, err
+	}
+	// Retire the old generation. Failures here are cosmetic (the old files
+	// are simply dead weight), so they are not surfaced.
+	if oldLog != nil {
+		oldLog.Close()
+	}
+	os.RemoveAll(filepath.Join(s.dir, snapDirName(s.seq-1)))
+	os.Remove(filepath.Join(s.dir, walName(s.seq-1)))
+	s.updates.Store(0)
+	return s.seq, nil
+}
+
+// rotateTo writes snapshot newSeq, opens its (empty) WAL, and atomically
+// points CURRENT at the new generation — in that order, so a failure at any
+// step leaves the store entirely on the previous generation (s.log, s.seq
+// and on-disk CURRENT are only changed once every step succeeded), and a
+// crash at any instant recovers a consistent generation: before the CURRENT
+// rename the old snapshot + old WAL, after it the new snapshot + empty WAL.
+// The caller retires the previous generation's files. Caller holds updMu
+// exclusively (or is bootstrapping, before the store is shared).
+func (s *Store) rotateTo(newSeq uint64) error {
+	tmp := filepath.Join(s.dir, snapDirName(newSeq)+".tmp")
+	final := filepath.Join(s.dir, snapDirName(newSeq))
+	if err := os.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return err
+	}
+	if err := s.ix.Snapshot(tmp); err != nil {
+		os.RemoveAll(tmp)
+		return err
+	}
+	if err := os.RemoveAll(final); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	log, err := wal.Create(filepath.Join(s.dir, walName(newSeq)), s.walPolicy())
+	if err != nil {
+		return err
+	}
+	if err := writeCurrent(s.dir, newSeq); err != nil {
+		log.Close()
+		os.Remove(filepath.Join(s.dir, walName(newSeq)))
+		return err
+	}
+	s.log = log
+	s.seq = newSeq
+	return nil
+}
+
+// Close checkpoints (so restart needs no WAL replay) and releases the WAL.
+// The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if s.closed.Swap(true) {
+		return ErrClosed
+	}
+	if s.syncStop != nil {
+		close(s.syncStop)
+		s.syncGroup.Wait()
+	}
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	if _, err := s.checkpointLocked(); err != nil {
+		if s.log != nil {
+			s.log.Close()
+		}
+		return err
+	}
+	return s.log.Close()
+}
+
+// syncLoop is the FsyncInterval cadence.
+func (s *Store) syncLoop(every time.Duration) {
+	defer s.syncGroup.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.syncStop:
+			return
+		case <-t.C:
+			s.updMu.RLock()
+			log := s.log
+			s.updMu.RUnlock()
+			if log != nil {
+				log.Sync()
+			}
+		}
+	}
+}
+
+// readCurrent parses CURRENT; ok == false means no snapshot exists yet.
+func readCurrent(dir string) (uint64, bool, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, currentName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	seq, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("parsing %s: %w", currentName, err)
+	}
+	return seq, true, nil
+}
+
+// writeCurrent atomically points CURRENT at seq: write a temp file, fsync,
+// rename over, fsync the directory.
+func writeCurrent(dir string, seq uint64) error {
+	tmp := filepath.Join(dir, currentName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", seq); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, currentName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and creations inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -5,6 +5,7 @@
 // in — whether queries over a converged shard scale with client goroutines
 // on the shared read path, against the exclusive-lock baseline
 // (shard.Config.DisableSharedReads) that serializes them.
+
 package experiments
 
 import (

@@ -2,6 +2,7 @@
 // query throughput of the sharded parallel engine (internal/shard) against
 // the mutex-serialized QUASII the paper's single-threaded evaluation implies,
 // and against a read-write-locked static R-tree as the static ceiling.
+
 package experiments
 
 import (

@@ -4,7 +4,15 @@
 // volumes.
 //
 // All coordinates are float64. A Box is defined by its lower (Min) and upper
-// (Max) corner, matching the paper's MBB definition lower(b)/upper(b).
+// (Max) corner, matching the paper's MBB definition lower(b)/upper(b). Two
+// sentinel boxes bracket the valid range: EmptyBox (the identity of Extend,
+// containing nothing) and UniverseBox (all of space); both use infinities,
+// which persistence formats must encode explicitly (JSON numbers cannot —
+// see the shard snapshot manifest).
+//
+// Everything here is value-typed and allocation-free; the hot query kernels
+// operate on the columnar lanes of internal/colstore instead and only
+// reconstruct these types at API boundaries.
 package geom
 
 import (

@@ -10,6 +10,7 @@
 //     (QueryBatch fan-outs, kNN probes, update routing). Admitted requests
 //     beyond the slot count park on the semaphore; the bound on how many
 //     can park is exactly MaxInFlight.
+
 package server
 
 import "sync/atomic"

@@ -1,6 +1,7 @@
 // Wire types of the HTTP/JSON query service. They are shared by the server
 // handlers, the load generator (internal/bench), and the examples, so the
 // two sides cannot drift apart.
+
 package server
 
 import (
@@ -109,6 +110,12 @@ type DeleteRequest struct {
 // DeleteResponse answers /delete.
 type DeleteResponse struct {
 	Deleted bool `json:"deleted"`
+}
+
+// SnapshotResponse answers POST /snapshot: the sequence number of the
+// checkpoint that was written.
+type SnapshotResponse struct {
+	Seq uint64 `json:"seq"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -5,6 +5,7 @@
 // worker pool — the server-side analogue of group commit. The window is the
 // latency the first query of a batch donates to its successors; keep it a
 // small fraction of the typical query time (the default is 2ms).
+
 package server
 
 import (

@@ -1,6 +1,7 @@
 // Per-endpoint request metrics: counts plus a sliding latency window whose
 // percentiles internal/stats computes on demand. A fixed-size ring keeps
 // the cost per request at one lock-protected store; /stats pays the sort.
+
 package server
 
 import (

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/durable"
+	"repro/internal/geom"
+	"repro/internal/shard"
+)
+
+func TestSnapshotEndpointWithoutDurability(t *testing.T) {
+	ts, _ := newTestServer(t, dataset.Uniform(500, 91), Config{})
+	var er ErrorResponse
+	if code := call(t, ts.Client(), http.MethodPost, ts.URL+"/snapshot", nil, &er); code != http.StatusNotImplemented {
+		t.Fatalf("POST /snapshot without durability: %d, want 501", code)
+	}
+}
+
+// TestServeSnapshotRestartCycle is the in-process serve → insert →
+// /snapshot → "restart" (new store + server over the same directory) →
+// query cycle: the HTTP-level half of the durability story.
+func TestServeSnapshotRestartCycle(t *testing.T) {
+	data := dataset.Uniform(2000, 92)
+	dir := t.TempDir()
+	store, err := durable.Open(dir, durable.Options{
+		Shard:     shard.Config{Shards: 2},
+		Bootstrap: func() []geom.Object { return data },
+		Fsync:     durable.FsyncAlways,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(store.Index(), Config{Durability: store})
+	ts := httptest.NewServer(s.Handler())
+
+	obj := ObjectJSON{ID: 910_001, BoxJSON: BoxToJSON(geom.BoxAt(geom.Point{42, 42, 42}, 2))}
+	var ir InsertResponse
+	if code := call(t, ts.Client(), http.MethodPost, ts.URL+"/insert",
+		InsertRequest{Objects: []ObjectJSON{obj}}, &ir); code != http.StatusOK {
+		t.Fatalf("insert: %d", code)
+	}
+	var sr SnapshotResponse
+	if code := call(t, ts.Client(), http.MethodPost, ts.URL+"/snapshot", nil, &sr); code != http.StatusOK {
+		t.Fatalf("snapshot: %d", code)
+	}
+	if sr.Seq < 2 {
+		t.Fatalf("snapshot seq %d, want >= 2", sr.Seq)
+	}
+	ts.Close()
+	// Hard stop: the store is abandoned, not Closed. The checkpoint (plus
+	// an empty WAL) must carry the full state.
+
+	reopened, err := durable.Open(dir, durable.Options{Shard: shard.Config{Shards: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	s2 := New(reopened.Index(), Config{Durability: reopened})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	var qr QueryResponse
+	if code := call(t, ts2.Client(), http.MethodPost, ts2.URL+"/query",
+		QueryRequest{BoxJSON: obj.BoxJSON}, &qr); code != http.StatusOK {
+		t.Fatalf("query after restart: %d", code)
+	}
+	found := false
+	for _, id := range qr.IDs {
+		if id == obj.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inserted object missing after restart: %v", qr.IDs)
+	}
+
+	// Deletes are durable too: delete, checkpoint via the endpoint, reopen.
+	var dr DeleteResponse
+	if code := call(t, ts2.Client(), http.MethodPost, ts2.URL+"/delete",
+		DeleteRequest{ID: obj.ID, Hint: obj.BoxJSON}, &dr); code != http.StatusOK || !dr.Deleted {
+		t.Fatalf("delete after restart: code %d deleted %v", code, dr.Deleted)
+	}
+	ts2.Close()
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := durable.Open(dir, durable.Options{Shard: shard.Config{Shards: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	if got := final.Index().Query(obj.Box(), nil); len(got) != 0 {
+		t.Fatalf("deleted object resurrected after second restart: %v", got)
+	}
+}

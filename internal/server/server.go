@@ -14,6 +14,12 @@
 //   - /stats     per-endpoint latency/QPS metrics, admission and batching
 //     counters, aggregated shard/QUASII statistics
 //   - /healthz   liveness
+//   - /snapshot  admin checkpoint trigger (requires Config.Durability):
+//     writes a fresh snapshot, truncates the write-ahead log
+//
+// With Config.Durability set (see internal/durable), /insert and /delete
+// are appended to a write-ahead log before they are applied or
+// acknowledged, so a restarted server recovers every acknowledged update.
 //
 // Overload never grows goroutines without bound: a fixed admission budget
 // (Config.MaxInFlight) turns excess requests into immediate 429s, and a
@@ -70,6 +76,22 @@ type Config struct {
 	// request; MaxK caps /knn's k. 0 selects 4096.
 	MaxBatch int
 	MaxK     int
+	// Durability, when non-nil, routes /insert and /delete through a
+	// write-ahead log before they reach the index and enables the admin
+	// POST /snapshot endpoint (internal/durable.Store satisfies it). Nil
+	// keeps the in-memory-only behaviour; /snapshot then answers 501.
+	Durability Durability
+}
+
+// Durability is the optional persistence hook behind the serving layer:
+// updates that must survive a restart are routed through it (logged before
+// they are acknowledged), and Checkpoint writes a fresh snapshot, returning
+// its sequence number. internal/durable.Store is the canonical
+// implementation.
+type Durability interface {
+	Insert(objs ...geom.Object) error
+	Delete(id int32, hint geom.Box) (bool, error)
+	Checkpoint() (uint64, error)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -134,6 +156,10 @@ func New(ix *shard.Index, cfg Config) *Server {
 	// answers its liveness probe.
 	s.route("/stats", true, []string{http.MethodGet}, s.handleStats)
 	s.route("/healthz", false, []string{http.MethodGet}, s.handleHealthz)
+	// /snapshot writes every shard under its read lock, so it rides with
+	// query traffic but must still hold an admission slot like any other
+	// index-touching request.
+	s.route("/snapshot", true, []string{http.MethodPost}, s.handleSnapshot)
 	return s
 }
 
@@ -399,9 +425,13 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		objs[i] = o.Object()
 	}
 	var err error
-	s.adm.exec(func() { err = s.ix.Insert(objs...) })
+	if s.cfg.Durability != nil {
+		s.adm.exec(func() { err = s.cfg.Durability.Insert(objs...) })
+	} else {
+		s.adm.exec(func() { err = s.ix.Insert(objs...) })
+	}
 	if err != nil {
-		writeJSON(w, http.StatusNotImplemented, ErrorResponse{Error: err.Error()})
+		writeJSON(w, updateErrStatus(err), ErrorResponse{Error: err.Error()})
 		return
 	}
 	// Pending is a lock-free estimate: sampling the engine's exact count
@@ -425,15 +455,29 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	var found bool
 	var err error
-	s.adm.exec(func() { found, err = s.ix.Delete(req.ID, req.Hint.Box()) })
+	if s.cfg.Durability != nil {
+		s.adm.exec(func() { found, err = s.cfg.Durability.Delete(req.ID, req.Hint.Box()) })
+	} else {
+		s.adm.exec(func() { found, err = s.ix.Delete(req.ID, req.Hint.Box()) })
+	}
 	if err != nil {
-		writeJSON(w, http.StatusNotImplemented, ErrorResponse{Error: err.Error()})
+		writeJSON(w, updateErrStatus(err), ErrorResponse{Error: err.Error()})
 		return
 	}
 	if found {
 		s.maybeFlush(1)
 	}
 	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: found})
+}
+
+// updateErrStatus maps an update failure onto an HTTP status: a sub-index
+// without update support is a permanent 501, anything else (WAL I/O
+// failure, a store mid-shutdown) is a retryable-by-semantics 500.
+func updateErrStatus(err error) int {
+	if errors.Is(err, shard.ErrNotUpdatable) {
+		return http.StatusNotImplemented
+	}
+	return http.StatusInternalServerError
 }
 
 // maybeFlush folds pending updates in once enough have accumulated. The
@@ -484,6 +528,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Endpoints[name] = m.snapshot(uptime)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot is the admin checkpoint trigger: it writes a fresh
+// snapshot and truncates the write-ahead log, answering with the new
+// snapshot sequence. Without a Durability hook it answers 501.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Durability == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			ErrorResponse{Error: "server runs without durability (no -data-dir)"})
+		return
+	}
+	var seq uint64
+	var err error
+	s.adm.exec(func() { seq, err = s.cfg.Durability.Checkpoint() })
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{Seq: seq})
 }
 
 // handleHealthz is the liveness probe. It must answer even while every

@@ -3,6 +3,7 @@
 // serially over its overlapping shards — per-query fan-out would only add
 // goroutine churn on a saturated pool — so the workers stay busy as long as
 // the queries spread across shards.
+
 package shard
 
 import (

@@ -3,6 +3,7 @@
 // and stop as soon as the next shard's bounding box is farther than the
 // current k-th neighbor — the classic branch-and-bound pruning, applied at
 // shard granularity.
+
 package shard
 
 import (

@@ -1,6 +1,7 @@
 // STR-style spatial partitioning: the same sort-tile-recursive discipline
 // the R-tree bulk loader uses, applied once at the top to carve the dataset
 // into P contiguous tiles of near-equal cardinality.
+
 package shard
 
 import (

@@ -1,0 +1,338 @@
+// Sharded persistence: Snapshot writes one snapshot file per shard plus a
+// JSON manifest binding them together; Restore reassembles the engine from
+// a snapshot directory without re-partitioning or re-refining anything.
+//
+// Per-shard files are written concurrently, each under its shard's read
+// lock, so a snapshot rides the same shared read path as converged queries:
+// it blocks no readers and is blocked only by in-flight cracking or update
+// writers on the shard it is currently copying. Because shards are locked
+// one at a time, a standalone Snapshot concurrent with updates is per-shard
+// consistent but not a cross-shard point-in-time cut; callers that need a
+// precise cut (internal/durable does, to bound its write-ahead log) must
+// pause updates around the call — queries can keep flowing.
+//
+// The manifest records what the sub-index snapshots cannot: the build-time
+// STR tile of each shard (which routes inserts), the live bounding box
+// (which routes queries and only ever grows), the overflow shard, and the
+// union of tiles. File-level atomicity is the caller's concern: write into
+// a fresh directory and rename it into place (internal/durable does).
+
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Saver is the optional sub-index interface behind Snapshot. The default
+// QUASII sub-indexes (core.Index) satisfy it.
+type Saver interface {
+	Save(w io.Writer) error
+}
+
+// ErrNotPersistable is returned by Snapshot when a shard's sub-index (built
+// by a custom Config.New) does not satisfy Saver, and by Restore when the
+// config requests custom sub-indexes (snapshot files always decode into the
+// default QUASII sub-indexes).
+var ErrNotPersistable = errors.New("shard: sub-index does not support persistence (Saver)")
+
+// ManifestName is the file binding a snapshot directory together. It is
+// written last, so a directory without it is an aborted snapshot.
+const ManifestName = "MANIFEST.json"
+
+const manifestVersion = 1
+
+// manifest is the JSON index of a snapshot directory.
+type manifest struct {
+	Version  int            `json:"version"`
+	TileMBB  boxManifest    `json:"tile_mbb"`
+	Shards   []shardRecord  `json:"shards"`
+	Overflow *overflowEntry `json:"overflow,omitempty"`
+}
+
+type shardRecord struct {
+	File   string      `json:"file"`
+	Tile   boxManifest `json:"tile"`
+	Bounds boxManifest `json:"bounds"`
+}
+
+type overflowEntry struct {
+	File   string      `json:"file"`
+	Bounds boxManifest `json:"bounds"`
+}
+
+// boxManifest is a geom.Box in JSON-safe form. Coordinates are formatted as
+// strings because live bounds can legitimately be ±Inf (an empty overflow
+// shard), which JSON numbers cannot represent; strconv round-trips both the
+// infinities and every finite float64 exactly.
+type boxManifest struct {
+	Min [geom.Dims]string `json:"min"`
+	Max [geom.Dims]string `json:"max"`
+}
+
+func boxToManifest(b geom.Box) boxManifest {
+	var m boxManifest
+	for d := 0; d < geom.Dims; d++ {
+		m.Min[d] = strconv.FormatFloat(b.Min[d], 'g', -1, 64)
+		m.Max[d] = strconv.FormatFloat(b.Max[d], 'g', -1, 64)
+	}
+	return m
+}
+
+func boxFromManifest(m boxManifest) (geom.Box, error) {
+	var b geom.Box
+	for d := 0; d < geom.Dims; d++ {
+		lo, err := strconv.ParseFloat(m.Min[d], 64)
+		if err != nil {
+			return b, fmt.Errorf("parsing box min[%d] %q: %w", d, m.Min[d], err)
+		}
+		hi, err := strconv.ParseFloat(m.Max[d], 64)
+		if err != nil {
+			return b, fmt.Errorf("parsing box max[%d] %q: %w", d, m.Max[d], err)
+		}
+		b.Min[d], b.Max[d] = lo, hi
+	}
+	return b, nil
+}
+
+func shardFileName(i int) string { return fmt.Sprintf("shard-%03d.snap", i) }
+
+const overflowFileName = "overflow.snap"
+
+// Snapshot writes the engine's state into dir (which must exist): one
+// snapshot file per shard — written concurrently, each under its shard's
+// read lock — plus the manifest, written last and only if every shard file
+// succeeded. Every file is fsynced before Snapshot returns; directory-entry
+// durability (fsync of dir itself, atomic rename into place) is left to the
+// caller.
+func (ix *Index) Snapshot(dir string) error {
+	type job struct {
+		sh     *shardEntry
+		file   string
+		bounds geom.Box // live bounds captured under the shard's read lock
+		err    error
+	}
+	jobs := make([]*job, 0, len(ix.shards)+1)
+	for i, sh := range ix.shards {
+		jobs = append(jobs, &job{sh: sh, file: shardFileName(i)})
+	}
+	overflow := ix.overflow.Load()
+	if overflow != nil {
+		jobs = append(jobs, &job{sh: overflow, file: overflowFileName})
+	}
+
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		sub, ok := j.sh.sub.(Saver)
+		if !ok {
+			return ErrNotPersistable
+		}
+		wg.Add(1)
+		go func(j *job, sub Saver) {
+			defer wg.Done()
+			j.bounds, j.err = writeShardFile(filepath.Join(dir, j.file), j.sh, sub)
+		}(j, sub)
+	}
+	wg.Wait()
+
+	m := manifest{Version: manifestVersion, TileMBB: boxToManifest(ix.tileMBB)}
+	for _, j := range jobs {
+		if j.err != nil {
+			return j.err
+		}
+		if j.sh == overflow {
+			m.Overflow = &overflowEntry{File: j.file, Bounds: boxToManifest(j.bounds)}
+			continue
+		}
+		m.Shards = append(m.Shards, shardRecord{
+			File: j.file, Tile: boxToManifest(j.sh.tile), Bounds: boxToManifest(j.bounds),
+		})
+	}
+	return writeManifest(filepath.Join(dir, ManifestName), &m)
+}
+
+// writeShardFile saves one sub-index to path under its shard's read lock
+// and fsyncs the file. It returns the shard's live bounds as captured under
+// that lock: every object in the saved file had its bounds extension
+// completed before it was appended (Insert grows bounds before taking the
+// shard lock), so bounds read here are guaranteed to cover the file — read
+// before the lock they could miss a racing insert, and a restored engine
+// would then skip the shard on queries its objects intersect.
+func writeShardFile(path string, sh *shardEntry, sub Saver) (geom.Box, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return geom.Box{}, err
+	}
+	sh.mu.RLock()
+	bounds := sh.boundsBox()
+	err = sub.Save(f)
+	sh.mu.RUnlock()
+	if err != nil {
+		f.Close()
+		return bounds, fmt.Errorf("saving %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return bounds, err
+	}
+	return bounds, f.Close()
+}
+
+func writeManifest(path string, m *manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return fmt.Errorf("encoding manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Restore reassembles a sharded index from a snapshot directory written by
+// Snapshot. Shard files are loaded concurrently. The restored engine keeps
+// the snapshot's spatial layout (tiles, live bounds, overflow shard) and
+// every sub-index's accumulated refinement; cfg supplies the runtime knobs
+// exactly as for New (Workers, CrackBudget, DisableSharedReads, and
+// SubConfig for shards created after restore, i.e. a fresh overflow).
+// cfg.New must be nil: snapshot files always decode into the default QUASII
+// sub-indexes.
+func Restore(dir string, cfg Config) (*Index, error) {
+	if cfg.New != nil {
+		return nil, ErrNotPersistable
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("reading snapshot manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("decoding snapshot manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("unsupported snapshot manifest version %d", m.Version)
+	}
+	if len(m.Shards) == 0 {
+		return nil, errors.New("snapshot manifest lists no shards")
+	}
+
+	sub := cfg.SubConfig
+	ix := &Index{
+		shards: make([]*shardEntry, len(m.Shards)),
+		build:  func(objs []geom.Object) Queryable { return core.New(objs, sub) },
+	}
+	ix.tileMBB, err = boxFromManifest(m.TileMBB)
+	if err != nil {
+		return nil, err
+	}
+	ix.crackBudget = cfg.CrackBudget
+	if ix.crackBudget == 0 {
+		ix.crackBudget = DefaultCrackBudget
+	}
+	ix.noShared = cfg.DisableSharedReads
+
+	errs := make([]error, len(m.Shards)+1)
+	var wg sync.WaitGroup
+	for i, rec := range m.Shards {
+		wg.Add(1)
+		go func(i int, rec shardRecord) {
+			defer wg.Done()
+			tile, err := boxFromManifest(rec.Tile)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			bounds, err := boxFromManifest(rec.Bounds)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sub, err := loadShardFile(filepath.Join(dir, rec.File))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sh := ix.newEntry(sub, tile)
+			sh.bounds.Store(&bounds)
+			ix.shards[i] = sh
+		}(i, rec)
+	}
+	if m.Overflow != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bounds, err := boxFromManifest(m.Overflow.Bounds)
+			if err != nil {
+				errs[len(m.Shards)] = err
+				return
+			}
+			sub, err := loadShardFile(filepath.Join(dir, m.Overflow.File))
+			if err != nil {
+				errs[len(m.Shards)] = err
+				return
+			}
+			sh := ix.newEntry(sub, geom.EmptyBox())
+			sh.bounds.Store(&bounds)
+			ix.overflow.Store(sh)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ix.workers = effectiveWorkers(cfg.Workers, len(ix.shards))
+	ix.sem = make(chan struct{}, ix.workers)
+	n := 0
+	ix.forEach(func(sh *shardEntry) { n += sh.sub.Len() })
+	ix.count.Store(int64(n))
+	return ix, nil
+}
+
+func loadShardFile(path string) (Queryable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sub, err := core.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", filepath.Base(path), err)
+	}
+	return sub, nil
+}
+
+// effectiveWorkers resolves the Config.Workers default: min(shard count,
+// GOMAXPROCS), at least 1. Shared by New and Restore.
+func effectiveWorkers(requested, shards int) int {
+	if requested >= 1 {
+		return requested
+	}
+	w := shards
+	if mp := runtime.GOMAXPROCS(0); w > mp {
+		w = mp
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

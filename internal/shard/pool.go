@@ -6,6 +6,7 @@
 // per-query results that QueryBatch hands to callers can be recycled by the
 // caller (the HTTP server does, once the response is encoded) via
 // PutResultBuf/RecycleResults.
+
 package shard
 
 import "sync"

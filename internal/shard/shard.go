@@ -233,16 +233,7 @@ func New(data []geom.Object, cfg Config) *Index {
 		ix.shards[i] = sh
 		ix.tileMBB = ix.tileMBB.Extend(sh.tile)
 	}
-	ix.workers = cfg.Workers
-	if ix.workers < 1 {
-		ix.workers = len(ix.shards)
-		if mp := runtime.GOMAXPROCS(0); ix.workers > mp {
-			ix.workers = mp
-		}
-		if ix.workers < 1 {
-			ix.workers = 1
-		}
-	}
+	ix.workers = effectiveWorkers(cfg.Workers, len(ix.shards))
 	ix.sem = make(chan struct{}, ix.workers)
 	ix.count.Store(int64(len(data)))
 	return ix

@@ -22,6 +22,7 @@
 // them into the indexed arrays. Shard bounding boxes only ever grow —
 // deleting the outermost object does not shrink the box — which keeps
 // concurrent routing lock-free and is conservative but always correct.
+
 package shard
 
 import (

@@ -1,5 +1,9 @@
-// Package stats provides the small summary-statistics helpers the experiment
-// harness uses to report convergence and cumulative-time series.
+// Package stats provides the summary-statistics helpers shared by the
+// experiment harness (internal/bench, internal/experiments) and the serving
+// metrics (internal/server): mean, sum, min/max, percentiles over duration
+// samples, running cumulative series, and the speedup ratios the QUASII
+// paper reports. All helpers tolerate empty inputs (returning zero) so
+// report generation never branches on sample counts.
 package stats
 
 import (

@@ -3,6 +3,13 @@
 // brain-model regions, and uniform range queries for the non-skewed
 // experiments. Query volume is expressed as a selectivity — a fraction of the
 // universe volume — exactly as in the paper (e.g. 0.01 % = 1e-4).
+//
+// Beyond the paper, the package provides the access patterns of the
+// adaptive-indexing literature: Sequential (an adjacent sweep, cracking's
+// worst case — no refinement reuse) and Zipf (hotspot skew, its best case).
+// All generators are deterministic in their seed, which the oracle-validated
+// serving tests (internal/bench's load generator) rely on to rebuild the
+// exact server workload client-side.
 package workload
 
 import (

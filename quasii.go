@@ -30,8 +30,11 @@
 package quasii
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/durable"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/gridfile"
@@ -343,6 +346,64 @@ type (
 
 // NewServer wires the HTTP query service over a sharded index.
 func NewServer(ix *Sharded, cfg ServerConfig) *Server { return server.New(ix, cfg) }
+
+// Persistence. A QUASII index is the accumulated side effect of the queries
+// executed against it, so durability preserves the convergence those
+// queries paid for: Save/Load snapshot a single index (the columnar v2
+// format; v1 snapshots load transparently), Sharded.Snapshot/RestoreSharded
+// do the same for the sharded engine (per-shard files plus a manifest), and
+// OpenStore adds a write-ahead log on top so live updates survive a crash —
+// recovery is the latest snapshot plus the WAL tail. See
+// docs/ARCHITECTURE.md for the lifecycle.
+
+// Save serializes ix to w in the columnar snapshot format, preserving the
+// data lanes, the full slice hierarchy with its refinement state, and any
+// buffered updates. Equivalent to ix.Save(w).
+func Save(ix *QUASII, w io.Writer) error { return ix.Save(w) }
+
+// Load reconstructs a QUASII index previously serialized with Save. Both
+// the current columnar format and legacy (v1, gob-only) snapshots load.
+func Load(r io.Reader) (*QUASII, error) { return core.Load(r) }
+
+// RestoreSharded reassembles a sharded index from a snapshot directory
+// written by Sharded.Snapshot. cfg supplies the runtime knobs exactly as
+// for NewSharded; cfg.New must be nil (snapshots always decode into QUASII
+// sub-indexes).
+func RestoreSharded(dir string, cfg ShardedConfig) (*Sharded, error) {
+	return shard.Restore(dir, cfg)
+}
+
+// The durable serving stack (internal/durable): a Store owns a sharded
+// index, a data directory and a write-ahead log, keeping
+// "durable state = latest snapshot + WAL tail" at all times.
+type (
+	// Store is a durable sharded index: Insert/Delete are logged before
+	// they are acknowledged, Checkpoint writes a snapshot and truncates
+	// the log, Close checkpoints so a restart needs no replay. Queries go
+	// straight to Store.Index() — durability adds no read-path overhead.
+	Store = durable.Store
+	// StoreConfig configures OpenStore: engine knobs, the bootstrap
+	// dataset, the fsync policy, and the automatic checkpoint cadence.
+	StoreConfig = durable.Options
+	// FsyncPolicy selects the WAL durability/latency trade-off.
+	FsyncPolicy = durable.FsyncPolicy
+)
+
+// Fsync policies for StoreConfig.Fsync.
+const (
+	// FsyncAlways fsyncs every update before acknowledging it (default).
+	FsyncAlways = durable.FsyncAlways
+	// FsyncInterval fsyncs on a background cadence (StoreConfig.FsyncEvery).
+	FsyncInterval = durable.FsyncInterval
+	// FsyncNever leaves flushing to the operating system.
+	FsyncNever = durable.FsyncNever
+)
+
+// OpenStore opens (or bootstraps) a durable store in dir: an existing
+// snapshot is restored — every shard's accumulated refinement included —
+// and the write-ahead log replayed; an empty directory is bootstrapped from
+// cfg.Bootstrap and checkpointed before OpenStore returns.
+func OpenStore(dir string, cfg StoreConfig) (*Store, error) { return durable.Open(dir, cfg) }
 
 // Serve runs the HTTP query service over ix on addr until the listener
 // fails. Equivalent to NewServer(ix, cfg).ListenAndServe(addr).

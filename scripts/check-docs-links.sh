@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the repository's docs resolves
+# to an existing file or directory. External (scheme-prefixed) links and
+# intra-page anchors are skipped. Run from the repository root:
+#
+#   scripts/check-docs-links.sh
+set -u
+
+fail=0
+# All tracked markdown files (top level, docs/, and any nested ones).
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  # Extract [text](target) link targets, one per line.
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    # Strip an anchor suffix, if any.
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $md -> $target"
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$md" | sed 's/.*(\(.*\))/\1/')
+done < <(find . -name '*.md' -not -path './.git/*' -not -path './bin/*' | sed 's|^\./||')
+
+if [ "$fail" -ne 0 ]; then
+  echo "markdown cross-link check failed"
+  exit 1
+fi
+echo "all markdown cross-links resolve"

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Process-level kill-restart smoke for the durability subsystem:
+#
+#   1. start quasii-serve with a data dir (bootstrap + initial snapshot)
+#   2. validate base-dataset query answers with the oracle load generator
+#   3. insert an object (ID above the loadgen write base, so the oracle
+#      comparison ignores it), SIGTERM the server (graceful: final snapshot)
+#   4. restart over the same data dir (warm restart, no re-cracking)
+#   5. the inserted object must still be there, and the oracle run must
+#      still validate every base-dataset answer
+#   6. hard-kill (SIGKILL) after another insert and restart again: the
+#      second object must be recovered from the WAL alone
+#
+# Run from the repository root. Exits non-zero on any failure.
+set -eu
+
+N=20000
+SEED=1
+ADDR=127.0.0.1:18080
+BASE=http://$ADDR
+DIR=$(mktemp -d)
+SRV_PID=
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+go build -o "$DIR/quasii-serve" ./cmd/quasii-serve
+go build -o "$DIR/quasii-loadgen" ./cmd/quasii-loadgen
+
+start_server() {
+  "$DIR/quasii-serve" -addr "$ADDR" -n $N -seed $SEED -data-dir "$DIR/data" \
+    -fsync always -checkpoint-every 0 &
+  SRV_PID=$!
+}
+
+wait_healthy() {
+  for _ in $(seq 1 200); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "server did not become healthy"; exit 1
+}
+
+query_has_id() { # $1 = id
+  curl -fsS -d '{"min":[100,100,100],"max":[110,110,110]}' "$BASE/query" \
+    | grep -q "$1"
+}
+
+echo "== 1. bootstrap"
+start_server
+wait_healthy
+
+echo "== 2. oracle validation against the fresh server"
+"$DIR/quasii-loadgen" -addr "$BASE" -oracle -n $N -seed $SEED \
+  -clients 4 -queries 300 -wait 10s
+
+echo "== 3. insert + graceful SIGTERM"
+# ID 1073742000 >= 2^30: the loadgen oracle ignores it by design.
+curl -fsS -d '{"objects":[{"id":1073742000,"min":[101,101,101],"max":[103,103,103]}]}' \
+  "$BASE/insert" >/dev/null
+query_has_id 1073742000 || { echo "insert not visible"; exit 1; }
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || { echo "server exited non-zero on SIGTERM"; exit 1; }
+SRV_PID=
+
+echo "== 4. warm restart"
+start_server
+wait_healthy
+
+echo "== 5. recovered state serves correctly"
+query_has_id 1073742000 || { echo "insert lost across graceful restart"; exit 1; }
+"$DIR/quasii-loadgen" -addr "$BASE" -oracle -n $N -seed $SEED \
+  -clients 4 -queries 300 -wait 10s
+
+echo "== 6. insert + SIGKILL (WAL-only recovery)"
+curl -fsS -d '{"objects":[{"id":1073742001,"min":[104,104,104],"max":[106,106,106]}]}' \
+  "$BASE/insert" >/dev/null
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=
+start_server
+wait_healthy
+query_has_id 1073742001 || { echo "insert lost across hard kill (WAL replay failed)"; exit 1; }
+query_has_id 1073742000 || { echo "earlier insert lost across hard kill"; exit 1; }
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || true
+SRV_PID=
+echo "persistence smoke passed"
