@@ -10,12 +10,17 @@
 //	               [-workload uniform|clustered|zipf|sequential]
 //	               [-selectivity 1e-3] [-skew 1.2] [-query-seed 2]
 //	               [-write-every 0] [-readers 0] [-writers 0]
-//	               [-oracle] [-n 200000] [-dataset uniform]
+//	               [-oracle] [-check-metrics] [-n 200000] [-dataset uniform]
 //	               [-seed 1] [-retries 100] [-wait 10s]
 //
 // With -oracle, the generator rebuilds the server's dataset locally (match
 // -n, -dataset and -seed to the quasii-serve flags) and compares every
 // response against a full scan; any mismatch makes the run exit non-zero.
+// The oracle run also scrapes GET /metrics afterwards: the exposition must
+// parse strictly, and the server-side request counts and latency
+// histograms are cross-checked against the client-side measurements
+// (server p50/p95/p99 print next to the client's). -check-metrics runs
+// that scrape without the oracle.
 // -write-every N mixes one insert→verify→delete cycle into every Nth query.
 // -readers/-writers select the mixed-workload mode: -readers R goroutines
 // drain the query workload (overriding -clients) while -writers W dedicated
@@ -60,6 +65,8 @@ func main() {
 	n := flag.Int("n", 200000, "server dataset size (for -oracle and -workload clustered)")
 	datasetName := flag.String("dataset", "uniform", "server dataset generator: uniform or neuro")
 	seed := flag.Int64("seed", 1, "server dataset RNG seed")
+	checkMetrics := flag.Bool("check-metrics", false,
+		"scrape and cross-check the server's /metrics after the run even without -oracle")
 	retries := flag.Int("retries", 100, "max 429 retries per request")
 	wait := flag.Duration("wait", 0,
 		"poll the server's /healthz for up to this long before starting "+
@@ -120,7 +127,22 @@ func main() {
 		len(boxes), *workloadName, *selectivity, *addr, nClients, *writers, *writeEvery, *oracle)
 	res := bench.RunLoadgen(cfg)
 	bench.PrintLoadgen(os.Stdout, res)
-	if res.Mismatches > 0 || res.Errors > 0 {
+	failed := res.Mismatches > 0 || res.Errors > 0
+	if *oracle || *checkMetrics {
+		// The oracle run also validates the server's observability: scrape
+		// /metrics, require it to parse strictly, and cross-check the
+		// server-side request accounting against the client-side counters.
+		rep, err := bench.ScrapeMetrics(nil, *addr, res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quasii-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		bench.PrintMetricsReport(os.Stdout, rep)
+		if len(rep.Problems) > 0 {
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -10,7 +10,8 @@
 //	             [-max-inflight 1024] [-exec-slots 0] [-flush-every 4096]
 //	             [-data-dir DIR] [-fsync always|interval|never]
 //	             [-fsync-interval 100ms] [-checkpoint-every 100000]
-//	             [-pprof :6060]
+//	             [-pprof :6060] [-trace-sample 64] [-slow-threshold 10ms]
+//	             [-slowlog-size 128]
 //
 // Without -data-dir the server builds the requested synthetic dataset (the
 // same generators the paper's evaluation uses, so a quasii-loadgen started
@@ -35,7 +36,18 @@
 //	POST /delete   {"id":7,"hint":{...}}                     live delete
 //	POST /snapshot                                           checkpoint now
 //	GET  /stats                                              metrics and engine state
+//	GET  /metrics                                            Prometheus text exposition
+//	GET  /debug/slowlog                                      sampled slow-query traces
 //	GET  /healthz                                            liveness
+//
+// /metrics exposes the full quasii_* registry — per-endpoint latency
+// histograms, the shard engine's shared-vs-cracking path split, the
+// convergence counters (slices refined, shared-path ratio), and with
+// -data-dir the WAL/checkpoint series. -trace-sample N samples one request
+// in N for per-stage tracing; sampled requests slower than -slow-threshold
+// land in the /debug/slowlog ring. /metrics and /debug/slowlog answer
+// outside admission control, so they keep working while the server sheds
+// load with 429s.
 //
 // Overload answers 429 (with Retry-After) once -max-inflight requests are
 // in flight; see the README's Serving and Durability sections for the knobs.
@@ -53,7 +65,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
-	_ "net/http/pprof" // registered on DefaultServeMux, served via -pprof
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -62,6 +74,21 @@ import (
 
 	quasii "repro"
 )
+
+// pprofMux builds a dedicated mux carrying only the net/http/pprof
+// handlers. Registering them explicitly (instead of blank-importing the
+// package) keeps them off http.DefaultServeMux, so nothing in the process —
+// not even a library that serves DefaultServeMux by accident — exposes the
+// profiling endpoints on the query port.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -86,6 +113,11 @@ func main() {
 		"write a snapshot and truncate the WAL after this many accepted updates (0 = manual only)")
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof on this address (e.g. :6060); empty disables")
+	traceSample := flag.Int("trace-sample", 64,
+		"sample one request in N for per-stage tracing (1 = all, 0 disables)")
+	slowThreshold := flag.Duration("slow-threshold", 10*time.Millisecond,
+		"sampled requests at least this slow enter GET /debug/slowlog (0 = keep all sampled)")
+	slowlogSize := flag.Int("slowlog-size", 128, "slow-query ring capacity")
 	flag.Parse()
 
 	buildData := func() []quasii.Object {
@@ -138,28 +170,36 @@ func main() {
 		*addr, *batchWindow, *batchLimit, *maxInFlight, *flushEvery)
 
 	if *pprofAddr != "" {
-		// Profiling runs on its own listener (DefaultServeMux carries the
-		// net/http/pprof handlers) so profile scrapes bypass the query
-		// service's admission control and cannot be 429'd away under the
-		// very load one wants to profile.
+		// Profiling runs on its own listener and its own mux, so profile
+		// scrapes bypass the query service's admission control and cannot be
+		// 429'd away under the very load one wants to profile.
 		go func() {
 			fmt.Printf("pprof listening on %s (/debug/pprof/)\n", *pprofAddr)
-			err := http.ListenAndServe(*pprofAddr, nil)
+			err := http.ListenAndServe(*pprofAddr, pprofMux())
 			fmt.Fprintf(os.Stderr, "quasii-serve: pprof: %v\n", err)
 		}()
 	}
 
 	serverCfg := quasii.ServerConfig{
-		BatchWindow: *batchWindow,
-		BatchLimit:  *batchLimit,
-		MaxInFlight: *maxInFlight,
-		ExecSlots:   *execSlots,
-		FlushEvery:  *flushEvery,
+		BatchWindow:      *batchWindow,
+		BatchLimit:       *batchLimit,
+		MaxInFlight:      *maxInFlight,
+		ExecSlots:        *execSlots,
+		FlushEvery:       *flushEvery,
+		TraceSampleEvery: *traceSample,
+		SlowThreshold:    *slowThreshold,
+		SlowlogSize:      *slowlogSize,
 	}
 	if store != nil {
 		serverCfg.Durability = store
 	}
 	s := quasii.NewServer(ix, serverCfg)
+	if store != nil {
+		// One registry serves the whole process: the server instruments
+		// itself and the engine in NewServer, the durable store (WAL and
+		// checkpoint series) joins the same scrape here.
+		store.Instrument(s.Registry())
+	}
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

@@ -91,6 +91,7 @@ type Stats struct {
 	Cracks         int   // two-way partition passes over some sub-array
 	CrackedObjects int64 // total objects moved across all crack passes (upper bound: elements scanned)
 	SlicesCreated  int   // slices materialized (all levels)
+	SlicesRefined  int   // slices finalized with an exact MBB — the paper's convergence curve
 	ObjectsTested  int64 // objects tested for final intersection
 	ResultObjects  int64 // objects reported
 	SharedQueries  int64 // queries answered on the optimistic shared read path (see shared.go)
@@ -694,6 +695,9 @@ func (ix *Index) finalize(s *slice) {
 	}
 	s.box = ix.data.MBB(s.lo, s.hi)
 	s.refined = true
+	if !ix.noStats {
+		ix.stats.SlicesRefined++
+	}
 	ix.epoch.Add(1)
 }
 
@@ -708,6 +712,9 @@ func (ix *Index) finalizeFragment(f *slice, dim int) {
 		f.box.Min[d], f.box.Max[d] = ix.data.LaneBounds(d, f.lo, f.hi)
 	}
 	f.refined = true
+	if !ix.noStats {
+		ix.stats.SlicesRefined++
+	}
 	// No epoch bump: the fragment is not yet reachable from the hierarchy
 	// (its partition pass already bumped, and splice will bump on attach).
 }

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/shard"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
 
@@ -119,6 +120,20 @@ type Store struct {
 	closed    atomic.Bool
 	syncStop  chan struct{}
 	syncGroup sync.WaitGroup
+
+	// Checkpoint bookkeeping for DurabilityStats, maintained with or
+	// without a registry attached: completed checkpoints since Open and the
+	// duration of the latest one (nanoseconds).
+	ckptCount  atomic.Int64
+	ckptLastNS atomic.Int64
+
+	// Telemetry, nil until Instrument attaches a registry (see
+	// telemetry.go). walMetrics is re-attached to each rotated log.
+	walMetrics    *wal.Metrics
+	mUpdates      *telemetry.Counter
+	mCkpts        *telemetry.Counter
+	mCkptFailures *telemetry.Counter
+	mCkptDur      *telemetry.Histogram
 }
 
 // ErrClosed is returned by update operations on a closed store.
@@ -278,6 +293,7 @@ func (s *Store) Delete(id int32, hint geom.Box) (bool, error) {
 // the unlucky update that crossed the line should not pay for writing every
 // shard — and the gate keeps at most one in flight.
 func (s *Store) noteUpdate() {
+	s.mUpdates.Inc()
 	n := s.updates.Add(1)
 	if s.opts.CheckpointEvery <= 0 || n < int64(s.opts.CheckpointEvery) {
 		return
@@ -309,12 +325,14 @@ func (s *Store) Checkpoint() (uint64, error) {
 // checkpointLocked rotates snapshot and WAL. Caller holds updMu (and
 // ckptMu) exclusively.
 func (s *Store) checkpointLocked() (uint64, error) {
+	start := time.Now()
 	oldLog := s.log
 	if err := s.rotateTo(s.seq + 1); err != nil {
 		// The rotation failed before any state was swapped: the store keeps
 		// running on the old generation (CURRENT untouched, old WAL still
 		// open and appending), so a failed checkpoint is an error, not an
 		// outage.
+		s.mCkptFailures.Inc()
 		return 0, err
 	}
 	// Retire the old generation. Failures here are cosmetic (the old files
@@ -325,6 +343,11 @@ func (s *Store) checkpointLocked() (uint64, error) {
 	os.RemoveAll(filepath.Join(s.dir, snapDirName(s.seq-1)))
 	os.Remove(filepath.Join(s.dir, walName(s.seq-1)))
 	s.updates.Store(0)
+	elapsed := time.Since(start)
+	s.ckptCount.Add(1)
+	s.ckptLastNS.Store(int64(elapsed))
+	s.mCkpts.Inc()
+	s.mCkptDur.ObserveDuration(elapsed)
 	return s.seq, nil
 }
 
@@ -361,6 +384,9 @@ func (s *Store) rotateTo(newSeq uint64) error {
 	log, err := wal.Create(filepath.Join(s.dir, walName(newSeq)), s.walPolicy())
 	if err != nil {
 		return err
+	}
+	if s.walMetrics != nil {
+		log.SetMetrics(s.walMetrics)
 	}
 	if err := writeCurrent(s.dir, newSeq); err != nil {
 		log.Close()

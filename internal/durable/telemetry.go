@@ -1,0 +1,72 @@
+// Registry wiring for the durable store: WAL append/fsync latency and
+// volume, checkpoint count/duration/failures, and the live WAL size. The
+// wal.Metrics value is owned here and re-attached to every successor log a
+// checkpoint rotation creates, so the quasii_wal_* series are continuous
+// across rotations instead of resetting with each generation.
+
+package durable
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/wal"
+)
+
+// Instrument registers the store's metrics on reg and attaches WAL
+// instrumentation to the current (and every future) log. Call it once,
+// right after Open. A nil registry is a no-op.
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mUpdates = reg.Counter("quasii_store_updates_total",
+		"Accepted durable update operations (insert batches and deletes).")
+	s.mCkpts = reg.Counter("quasii_store_checkpoints_total",
+		"Checkpoints completed since the store opened.")
+	s.mCkptFailures = reg.Counter("quasii_store_checkpoint_failures_total",
+		"Checkpoint attempts that failed and left the store on its old generation.")
+	s.mCkptDur = reg.Histogram("quasii_store_checkpoint_duration_seconds",
+		"Wall time of one checkpoint: snapshot write, WAL rotation, retirement.",
+		telemetry.DurationBuckets)
+	reg.GaugeFunc("quasii_store_wal_size_bytes",
+		"Current write-ahead log length.",
+		func() float64 { return float64(s.WALSize()) })
+	reg.GaugeFunc("quasii_store_snapshot_seq",
+		"Sequence number of the live snapshot generation.",
+		func() float64 { return float64(s.Seq()) })
+
+	m := &wal.Metrics{
+		Appends: reg.Counter("quasii_wal_appends_total",
+			"Records committed to the write-ahead log."),
+		AppendedBytes: reg.Counter("quasii_wal_appended_bytes_total",
+			"Framed bytes committed to the write-ahead log."),
+		AppendSeconds: reg.Histogram("quasii_wal_append_duration_seconds",
+			"Commit latency of one WAL record, fsync included under the always policy.",
+			telemetry.DurationBuckets),
+		Fsyncs: reg.Counter("quasii_wal_fsyncs_total",
+			"Explicit WAL fsyncs (per-append or interval cadence)."),
+		FsyncSeconds: reg.Histogram("quasii_wal_fsync_duration_seconds",
+			"Latency of one WAL fsync.",
+			telemetry.DurationBuckets),
+	}
+	s.updMu.Lock()
+	s.walMetrics = m
+	if s.log != nil {
+		s.log.SetMetrics(m)
+	}
+	s.updMu.Unlock()
+}
+
+// DurabilityStats reports the durability state the serving layer folds into
+// /stats: the live snapshot sequence, the WAL length in bytes, checkpoints
+// completed since Open, and the duration of the most recent one (0 before
+// the first). The tuple form keeps the serving layer decoupled — it
+// type-asserts a small interface instead of importing this package.
+func (s *Store) DurabilityStats() (snapshotSeq uint64, walBytes int64, checkpoints int64, lastCheckpointSeconds float64) {
+	s.updMu.RLock()
+	snapshotSeq = s.seq
+	walBytes = s.log.Size()
+	s.updMu.RUnlock()
+	checkpoints = s.ckptCount.Load()
+	lastCheckpointSeconds = float64(s.ckptLastNS.Load()) / 1e9
+	return
+}

@@ -13,7 +13,12 @@
 
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
 
 // admission implements the two-level bound.
 type admission struct {
@@ -47,6 +52,20 @@ func (a *admission) done() { a.inflight.Add(-1) }
 // ever park here.
 func (a *admission) exec(f func()) {
 	a.slots <- struct{}{}
+	defer func() { <-a.slots }()
+	f()
+}
+
+// execTraced is exec with the slot wait attributed to the trace's admission
+// stage. A nil trace takes the plain path — no clock reads.
+func (a *admission) execTraced(tr *telemetry.Trace, f func()) {
+	if tr == nil {
+		a.exec(f)
+		return
+	}
+	t0 := time.Now()
+	a.slots <- struct{}{}
+	tr.StageSince(telemetry.StageAdmission, t0)
 	defer func() { <-a.slots }()
 	f()
 }

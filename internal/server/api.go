@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/telemetry"
 )
 
 // BoxJSON is a 3-d axis-aligned box on the wire.
@@ -118,6 +119,12 @@ type SnapshotResponse struct {
 	Seq uint64 `json:"seq"`
 }
 
+// SlowlogResponse answers GET /debug/slowlog: the ring of sampled traces
+// that crossed the slow threshold, newest first.
+type SlowlogResponse struct {
+	Traces []telemetry.TraceEntry `json:"traces"`
+}
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -161,20 +168,34 @@ type AdmissionStats struct {
 
 // IndexStats reports the shard engine state on /stats.
 type IndexStats struct {
-	Objects     int   `json:"objects"`
-	Shards      int   `json:"shards"`
-	MinShardLen int   `json:"min_shard_len"`
-	MaxShardLen int   `json:"max_shard_len"`
-	OverflowLen int   `json:"overflow_len"`
-	Pending     int   `json:"pending"`
-	Deleted     int   `json:"deleted"`
-	Queries     int   `json:"core_queries"`
-	Cracks      int   `json:"core_cracks"`
-	Slices      int   `json:"core_slices_created"`
-	Tested      int64 `json:"core_objects_tested"`
+	Objects     int `json:"objects"`
+	Shards      int `json:"shards"`
+	MinShardLen int `json:"min_shard_len"`
+	MaxShardLen int `json:"max_shard_len"`
+	OverflowLen int `json:"overflow_len"`
+	Pending     int `json:"pending"`
+	Deleted     int `json:"deleted"`
+	Queries     int `json:"core_queries"`
+	Cracks      int `json:"core_cracks"`
+	Slices      int `json:"core_slices_created"`
+	// SlicesRefined counts slices finalized with an exact MBB — the
+	// convergence curve: it rises as the workload cracks the index toward
+	// its steady state and flattens once converged.
+	SlicesRefined int   `json:"core_slices_refined"`
+	Tested        int64 `json:"core_objects_tested"`
 	// SharedQueries counts queries answered on the lock-shared read path
 	// (converged regions); core_queries counts the exclusive-path ones.
 	SharedQueries int64 `json:"core_shared_queries"`
+}
+
+// DurabilityStats reports the persistence state on /stats. All-zero with
+// Enabled false when the server runs without a durability hook.
+type DurabilityStats struct {
+	Enabled               bool    `json:"enabled"`
+	SnapshotSeq           uint64  `json:"snapshot_seq"`
+	WALBytes              int64   `json:"wal_bytes"`
+	Checkpoints           int64   `json:"checkpoints"`
+	LastCheckpointSeconds float64 `json:"last_checkpoint_seconds"`
 }
 
 // StatsResponse answers GET /stats.
@@ -183,5 +204,6 @@ type StatsResponse struct {
 	Index         IndexStats               `json:"index"`
 	Admission     AdmissionStats           `json:"admission"`
 	Batcher       BatcherStats             `json:"batcher"`
+	Durability    DurabilityStats          `json:"durability"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }

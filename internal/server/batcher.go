@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/shard"
+	"repro/internal/telemetry"
 )
 
 // batch is one in-flight coalescing window. Submitters append their box,
@@ -22,9 +23,13 @@ import (
 // executes the whole batch and closes done.
 type batch struct {
 	boxes   []geom.Box
+	traces  []*telemetry.Trace // aligned with boxes; all-nil when nothing is sampled
 	results [][]int32
-	fire    chan struct{} // closed when the batch fills up before the window ends
-	done    chan struct{} // closed after results are populated
+	// execStart is when the leader began executing the batch; submitters read
+	// it after done closes to attribute their coalescing-window wait.
+	execStart time.Time
+	fire      chan struct{} // closed when the batch fills up before the window ends
+	done      chan struct{} // closed after results are populated
 }
 
 // batcher coalesces queries into batches of at most limit boxes per window.
@@ -39,6 +44,10 @@ type batcher struct {
 
 	batches atomic.Int64
 	queries atomic.Int64
+
+	// mOccupancy observes how many queries each executed batch carried
+	// (1 for every immediate-path query). Set once by Server.instrument.
+	mOccupancy *telemetry.Histogram
 }
 
 func newBatcher(ix *shard.Index, adm *admission, window time.Duration, limit int) *batcher {
@@ -47,17 +56,24 @@ func newBatcher(ix *shard.Index, adm *admission, window time.Duration, limit int
 
 // do answers one query, possibly coalesced with concurrent ones. With a
 // zero window the query executes immediately (still under an execution
-// slot).
-func (b *batcher) do(q geom.Box) []int32 {
+// slot). tr, when non-nil, collects stage timings for the sampled trace.
+func (b *batcher) do(q geom.Box, tr *telemetry.Trace) []int32 {
 	if b.window <= 0 {
 		// The result buffer comes from the shard pool; handleQuery returns
 		// it after encoding the response.
 		var out []int32
-		b.adm.exec(func() { out = b.ix.Query(q, shard.GetResultBuf()) })
+		b.adm.execTraced(tr, func() {
+			t0 := time.Now()
+			out = b.ix.QueryTraced(q, shard.GetResultBuf(), tr)
+			tr.StageSince(telemetry.StageFanout, t0)
+		})
+		b.mOccupancy.Observe(1)
+		tr.SetBatchSize(1)
 		b.batches.Add(1)
 		b.queries.Add(1)
 		return out
 	}
+	submitted := time.Now()
 	b.mu.Lock()
 	bt := b.cur
 	if bt == nil {
@@ -67,6 +83,7 @@ func (b *batcher) do(q geom.Box) []int32 {
 	}
 	slot := len(bt.boxes)
 	bt.boxes = append(bt.boxes, q)
+	bt.traces = append(bt.traces, tr)
 	if b.limit > 0 && len(bt.boxes) >= b.limit {
 		// Full before the window closed: detach so the next submitter opens
 		// a fresh batch, and wake the leader early. Detaching under mu
@@ -76,6 +93,12 @@ func (b *batcher) do(q geom.Box) []int32 {
 	}
 	b.mu.Unlock()
 	<-bt.done
+	if tr != nil {
+		// Time parked in the coalescing window (and behind the leader's slot
+		// wait) before the batch actually started executing.
+		tr.AddStage(telemetry.StageCoalesce, bt.execStart.Sub(submitted))
+		tr.SetBatchSize(len(bt.boxes))
+	}
 	return bt.results[slot]
 }
 
@@ -96,7 +119,15 @@ func (b *batcher) run(bt *batch) {
 	boxes := bt.boxes // no appends can arrive after the detach
 	b.mu.Unlock()
 
-	b.adm.exec(func() { bt.results = b.ix.QueryBatch(boxes) })
+	b.adm.exec(func() {
+		bt.execStart = time.Now()
+		bt.results = b.ix.QueryBatchTraced(boxes, bt.traces)
+		fanout := time.Since(bt.execStart)
+		for _, tr := range bt.traces {
+			tr.AddStage(telemetry.StageFanout, fanout)
+		}
+	})
+	b.mOccupancy.Observe(float64(len(boxes)))
 	b.batches.Add(1)
 	b.queries.Add(int64(len(boxes)))
 	close(bt.done)

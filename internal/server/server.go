@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/shard"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the serving layer. The zero value is production-usable:
@@ -81,6 +82,22 @@ type Config struct {
 	// POST /snapshot endpoint (internal/durable.Store satisfies it). Nil
 	// keeps the in-memory-only behaviour; /snapshot then answers 501.
 	Durability Durability
+	// Telemetry is the metrics registry GET /metrics renders. The server
+	// instruments itself and the engine on it; callers that also own the
+	// durability store should instrument it on the same registry. Nil makes
+	// the server create a private registry, so /metrics always answers.
+	Telemetry *telemetry.Registry
+	// TraceSampleEvery samples one request in every N for per-stage tracing
+	// (admission wait, coalescing window, shard fan-out, shared/crack split,
+	// response encode); sampled traces above SlowThreshold land in the
+	// slow-query ring served at GET /debug/slowlog. 1 traces everything,
+	// 0 disables tracing.
+	TraceSampleEvery int
+	// SlowThreshold is the minimum sampled-request latency that enters the
+	// slowlog. 0 keeps every sampled trace (the ring is bounded regardless).
+	SlowThreshold time.Duration
+	// SlowlogSize is the slow-query ring capacity. 0 selects 128.
+	SlowlogSize int
 }
 
 // Durability is the optional persistence hook behind the serving layer:
@@ -92,6 +109,14 @@ type Durability interface {
 	Insert(objs ...geom.Object) error
 	Delete(id int32, hint geom.Box) (bool, error)
 	Checkpoint() (uint64, error)
+}
+
+// DurabilityStatser is the optional durability-state probe: a Durability
+// implementation that also satisfies it (internal/durable.Store does) gets
+// its state folded into /stats. The tuple return keeps this package
+// decoupled from the store's types.
+type DurabilityStatser interface {
+	DurabilityStats() (snapshotSeq uint64, walBytes int64, checkpoints int64, lastCheckpointSeconds float64)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -134,14 +159,29 @@ type Server struct {
 	start   time.Time
 	updates atomic.Int64 // accepted update objects since the last auto-flush
 	pending atomic.Int64 // cheap estimate of unfolded inserts (see /insert)
+
+	reg    *telemetry.Registry // never nil after New
+	tracer *telemetry.Tracer   // never nil after New; samples per Config
 }
 
 // New wires a server over the given sharded index.
 func New(ix *shard.Index, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{ix: ix, cfg: cfg, start: time.Now()}
+	s.reg = cfg.Telemetry
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	s.tracer = telemetry.NewTracer(telemetry.TraceConfig{
+		SampleEvery:   cfg.TraceSampleEvery,
+		SlowThreshold: cfg.SlowThreshold,
+		LogSize:       cfg.SlowlogSize,
+	})
+	s.tracer.Instrument(s.reg)
+	ix.Instrument(s.reg)
 	s.adm = newAdmission(cfg.MaxInFlight, cfg.ExecSlots)
 	s.bat = newBatcher(ix, s.adm, cfg.BatchWindow, cfg.BatchLimit)
+	s.instrument()
 	s.met = make(map[string]*endpointMetrics)
 	s.mux = http.NewServeMux()
 	s.route("/query", true, []string{http.MethodPost, http.MethodGet}, s.handleQuery)
@@ -160,7 +200,54 @@ func New(ix *shard.Index, cfg Config) *Server {
 	// query traffic but must still hold an admission slot like any other
 	// index-touching request.
 	s.route("/snapshot", true, []string{http.MethodPost}, s.handleSnapshot)
+	// /metrics and /debug/slowlog stay outside admission: an overloaded
+	// server shedding load with 429s is exactly the moment observability
+	// must keep answering. The scrape's shard walk rides the read path.
+	s.route("/metrics", false, []string{http.MethodGet}, s.handleMetrics)
+	s.route("/debug/slowlog", false, []string{http.MethodGet}, s.handleSlowlog)
 	return s
+}
+
+// Registry returns the server's metrics registry (the one /metrics
+// renders) so callers can instrument adjacent subsystems — the durable
+// store, custom collectors — onto the same scrape.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// instrument registers the serving-layer metrics that are not per-endpoint
+// (those attach in route).
+func (s *Server) instrument() {
+	s.reg.GaugeFunc("quasii_http_in_flight_requests",
+		"Requests holding an admission slot right now.",
+		func() float64 { return float64(s.adm.inflight.Load()) })
+	s.reg.CounterFunc("quasii_http_rejected_total",
+		"Requests rejected with 429 at admission.",
+		func() float64 { return float64(s.adm.rejected.Load()) })
+	s.reg.CounterFunc("quasii_server_batches_total",
+		"Coalesced batches executed (a lone query counts as a batch of one).",
+		func() float64 { return float64(s.bat.batches.Load()) })
+	s.reg.CounterFunc("quasii_server_batched_queries_total",
+		"Queries answered through the coalescing path.",
+		func() float64 { return float64(s.bat.queries.Load()) })
+	s.bat.mOccupancy = s.reg.Histogram("quasii_server_batch_occupancy_queries",
+		"Queries per executed coalesced batch.", telemetry.SizeBuckets)
+	s.reg.GaugeFunc("quasii_server_uptime_seconds",
+		"Seconds since the server was created.",
+		func() float64 { return time.Since(s.start).Seconds() })
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}
+
+// handleSlowlog renders the slow-query ring, newest first.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	entries := s.tracer.Slowlog()
+	if entries == nil {
+		entries = []telemetry.TraceEntry{}
+	}
+	writeJSON(w, http.StatusOK, SlowlogResponse{Traces: entries})
 }
 
 // Handler returns the service's HTTP handler.
@@ -198,11 +285,22 @@ func (w *statusWriter) WriteHeader(status int) {
 }
 
 // route registers one endpoint behind method filtering, optional admission
-// control, and latency metrics.
+// control, and latency metrics (both the /stats ring-buffer percentiles and
+// the /metrics registry series).
 func (s *Server) route(path string, admit bool, methods []string, h http.HandlerFunc) {
 	name := strings.TrimPrefix(path, "/")
 	m := &endpointMetrics{}
 	s.met[name] = m
+	lbl := telemetry.L("endpoint", name)
+	mReq := s.reg.Counter("quasii_http_requests_total",
+		"Requests received, by endpoint (method-filtered; includes rejects).", lbl)
+	mErr := s.reg.Counter("quasii_http_errors_total",
+		"Requests answered with a 4xx/5xx status, by endpoint.", lbl)
+	mRej := s.reg.Counter("quasii_http_rejected_endpoint_total",
+		"Requests rejected with 429 at admission, by endpoint.", lbl)
+	mDur := s.reg.Histogram("quasii_http_request_duration_seconds",
+		"Wall time of handled requests (admission rejects excluded), by endpoint.",
+		telemetry.DurationBuckets, lbl)
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		allowed := false
 		for _, meth := range methods {
@@ -216,9 +314,11 @@ func (s *Server) route(path string, admit bool, methods []string, h http.Handler
 				ErrorResponse{Error: fmt.Sprintf("method %s not allowed on %s", r.Method, path)})
 			return
 		}
+		mReq.Inc()
 		if admit {
 			if !s.adm.admit() {
 				m.reject()
+				mRej.Inc()
 				w.Header().Set("Retry-After", "1")
 				writeJSON(w, http.StatusTooManyRequests,
 					ErrorResponse{Error: "server at capacity, retry later"})
@@ -229,7 +329,12 @@ func (s *Server) route(path string, admit bool, methods []string, h http.Handler
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
-		m.observe(time.Since(t0), sw.status >= 400)
+		d := time.Since(t0)
+		m.observe(d, sw.status >= 400)
+		mDur.ObserveDuration(d)
+		if sw.status >= 400 {
+			mErr.Inc()
+		}
 	})
 }
 
@@ -294,14 +399,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	ids := s.bat.do(req.Box())
+	tr := s.tracer.Begin("query")
+	ids := s.bat.do(req.Box(), tr)
 	if ids == nil {
 		ids = []int32{}
 	}
+	tr.SetResults(len(ids))
 	// ~11 bytes per ID plus the envelope; the result buffer goes back to
 	// the shard pool once the response bytes are encoded.
+	encStart := traceNow(tr)
 	writeJSONSized(w, http.StatusOK, QueryResponse{IDs: ids, Count: len(ids)}, 32+11*len(ids))
+	tr.StageSince(telemetry.StageEncode, encStart)
+	s.tracer.Finish(tr)
 	shard.PutResultBuf(ids)
+}
+
+// traceNow reads the clock only when a trace is live, so unsampled requests
+// skip the time syscall entirely.
+func traceNow(tr *telemetry.Trace) time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // boxFromParams parses ?min=x,y,z&max=x,y,z.
@@ -354,8 +473,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		boxes[i] = q.Box()
 	}
+	tr := s.tracer.Begin("batch")
+	tr.SetBatchSize(len(boxes))
+	// A traced /batch threads the one batch-level trace through every
+	// sub-query, so shared/exclusive probe counts aggregate over the whole
+	// request.
+	var traces []*telemetry.Trace
+	if tr != nil {
+		traces = make([]*telemetry.Trace, len(boxes))
+		for i := range traces {
+			traces[i] = tr
+		}
+	}
 	var results [][]int32
-	s.adm.exec(func() { results = s.ix.QueryBatch(boxes) })
+	s.adm.execTraced(tr, func() {
+		t0 := traceNow(tr)
+		results = s.ix.QueryBatchTraced(boxes, traces)
+		tr.StageSince(telemetry.StageFanout, t0)
+	})
 	total := 0
 	for i := range results {
 		if results[i] == nil {
@@ -363,7 +498,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		total += len(results[i])
 	}
+	tr.SetResults(total)
+	encStart := traceNow(tr)
 	writeJSONSized(w, http.StatusOK, BatchResponse{Results: results}, 32+11*total+4*len(results))
+	tr.StageSince(telemetry.StageEncode, encStart)
+	s.tracer.Finish(tr)
 	shard.RecycleResults(results)
 }
 
@@ -384,10 +523,13 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, fmt.Errorf("k must be in [1, %d], got %d", s.cfg.MaxK, req.K))
 		return
 	}
+	tr := s.tracer.Begin("knn")
 	var nn []NeighborJSON
 	var err error
-	s.adm.exec(func() {
+	s.adm.execTraced(tr, func() {
+		t0 := traceNow(tr)
 		found, kerr := s.ix.KNN(geom.Point(req.Point), req.K)
+		tr.StageSince(telemetry.StageFanout, t0)
 		err = kerr
 		nn = make([]NeighborJSON, len(found))
 		for i, n := range found {
@@ -395,10 +537,15 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err != nil {
+		s.tracer.Finish(tr)
 		writeJSON(w, http.StatusNotImplemented, ErrorResponse{Error: err.Error()})
 		return
 	}
+	tr.SetResults(len(nn))
+	encStart := traceNow(tr)
 	writeJSONSized(w, http.StatusOK, KNNResponse{Neighbors: nn}, 32+48*len(nn))
+	tr.StageSince(telemetry.StageEncode, encStart)
+	s.tracer.Finish(tr)
 }
 
 // handleInsert routes new objects into the engine.
@@ -517,12 +664,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Queries:       st.Core.Queries,
 			Cracks:        st.Core.Cracks,
 			Slices:        st.Core.SlicesCreated,
+			SlicesRefined: st.Core.SlicesRefined,
 			Tested:        st.Core.ObjectsTested,
 			SharedQueries: st.Core.SharedQueries,
 		},
 		Admission: s.adm.stats(),
 		Batcher:   s.bat.stats(),
 		Endpoints: make(map[string]EndpointStats, len(s.met)),
+	}
+	if ds, ok := s.cfg.Durability.(DurabilityStatser); ok {
+		seq, walBytes, ckpts, last := ds.DurabilityStats()
+		resp.Durability = DurabilityStats{
+			Enabled:               true,
+			SnapshotSeq:           seq,
+			WALBytes:              walBytes,
+			Checkpoints:           ckpts,
+			LastCheckpointSeconds: last,
+		}
 	}
 	for name, m := range s.met {
 		resp.Endpoints[name] = m.snapshot(uptime)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/geom"
+	"repro/internal/telemetry"
 )
 
 // QueryBatch answers every query and returns the per-query ID sets, indexed
@@ -21,6 +22,14 @@ import (
 // identical to calling Query on each box in order. Safe for concurrent use,
 // including concurrently with Query.
 func (ix *Index) QueryBatch(queries []geom.Box) [][]int32 {
+	return ix.QueryBatchTraced(queries, nil)
+}
+
+// QueryBatchTraced is QueryBatch with sampled stage traces attached: traces,
+// when non-nil, is indexed like queries and carries the trace of each
+// sampled query (nil entries — the common case — are untraced). The serving
+// layer aligns it with the coalesced batch it hands down.
+func (ix *Index) QueryBatchTraced(queries []geom.Box, traces []*telemetry.Trace) [][]int32 {
 	results := make([][]int32, len(queries))
 	var next atomic.Int64
 	drain := func() {
@@ -30,11 +39,17 @@ func (ix *Index) QueryBatch(queries []geom.Box) [][]int32 {
 			if qi >= len(queries) {
 				return
 			}
+			var tr *telemetry.Trace
+			if traces != nil {
+				tr = traces[qi]
+			}
 			hit = ix.overlapping(queries[qi], hit[:0])
+			ix.mFanout.Observe(float64(len(hit)))
+			tr.SetFanout(len(hit))
 			// Result buffers come from the engine's pool; callers that are
 			// done with them can hand them back via RecycleResults (the
 			// HTTP server does after encoding each response).
-			results[qi] = querySerial(hit, queries[qi], GetResultBuf())
+			results[qi] = querySerial(hit, queries[qi], GetResultBuf(), tr)
 		}
 	}
 	helpers := ix.workers

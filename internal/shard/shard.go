@@ -39,9 +39,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/telemetry"
 )
 
 // Queryable is the interface a shard's sub-index must satisfy. It matches
@@ -159,6 +161,12 @@ type shardEntry struct {
 	budgeted    BudgetedQueryable
 	crackBudget int // per-exclusive-query crack budget; < 0 = unlimited
 
+	// Path counters, shared by all entries of one engine and nil until
+	// Instrument attaches a registry (telemetry counters no-op on nil, so
+	// the uninstrumented hot path pays one nil check per shard query).
+	mShared    *telemetry.Counter
+	mExclusive *telemetry.Counter
+
 	bounds atomic.Pointer[geom.Box] // live MBB; read lock-free by queries
 }
 
@@ -205,6 +213,15 @@ type Index struct {
 	// count tracks the live object total lock-free (+1 per Insert, -1 per
 	// successful Delete), so liveness probes need not take shard locks.
 	count atomic.Int64
+
+	// Engine-level metrics, nil until Instrument attaches a registry
+	// (before serving, by contract). mFanout covers whole-query
+	// observations; the path counters are copied onto every shardEntry —
+	// existing ones by Instrument, later ones (the lazy overflow shard) by
+	// newEntry — because queryShard has no *Index.
+	mFanout    *telemetry.Histogram // shards overlapped per query
+	mShared    *telemetry.Counter
+	mExclusive *telemetry.Counter
 }
 
 // New partitions data into cfg.Shards spatial shards and builds one
@@ -243,6 +260,10 @@ func New(data []geom.Object, cfg Config) *Index {
 // shared-path capabilities once.
 func (ix *Index) newEntry(sub Queryable, tile geom.Box) *shardEntry {
 	sh := &shardEntry{sub: sub, tile: tile, crackBudget: ix.crackBudget}
+	// Inherit the engine's path counters so entries created after
+	// Instrument (the lazy overflow shard) report like the rest.
+	sh.mShared = ix.mShared
+	sh.mExclusive = ix.mExclusive
 	if !ix.noShared {
 		if sq, ok := sub.(SharedQueryable); ok {
 			sh.shared = sq
@@ -329,6 +350,7 @@ func (ix *Index) collect(sh *shardEntry, st *Stats) int {
 		st.Core.Cracks += cs.Cracks
 		st.Core.CrackedObjects += cs.CrackedObjects
 		st.Core.SlicesCreated += cs.SlicesCreated
+		st.Core.SlicesRefined += cs.SlicesRefined
 		st.Core.ObjectsTested += cs.ObjectsTested
 		st.Core.ResultObjects += cs.ResultObjects
 		st.Core.SharedQueries += cs.SharedQueries
@@ -396,15 +418,31 @@ func (ix *Index) overlapping(q geom.Box, hit []*shardEntry) []*shardEntry {
 // then — only if the shared walk found unfinished refinement — the
 // exclusive path under the write lock, crack-budgeted so the write section
 // stays short. Sub-indexes without shared support keep the old exclusive
-// behaviour.
-func queryShard(sh *shardEntry, q geom.Box, out []int32) []int32 {
+// behaviour. tr, when non-nil, receives per-path stage durations (a sampled
+// trace); the untraced path pays only the nil checks.
+func queryShard(sh *shardEntry, q geom.Box, out []int32, tr *telemetry.Trace) []int32 {
 	if sh.shared != nil {
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
 		sh.mu.RLock()
 		res, ok := sh.shared.QueryShared(q, out)
 		sh.mu.RUnlock()
+		if tr != nil {
+			tr.StageSince(telemetry.StageShared, t0)
+		}
 		if ok {
+			sh.mShared.Inc()
+			if tr != nil {
+				tr.AddSharedProbe()
+			}
 			return res
 		}
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	sh.mu.Lock()
 	if sh.budgeted != nil && sh.crackBudget >= 0 {
@@ -413,6 +451,11 @@ func queryShard(sh *shardEntry, q geom.Box, out []int32) []int32 {
 		out = sh.sub.Query(q, out)
 	}
 	sh.mu.Unlock()
+	sh.mExclusive.Inc()
+	if tr != nil {
+		tr.StageSince(telemetry.StageCrack, t0)
+		tr.AddExclusiveProbe()
+	}
 	return out
 }
 
@@ -422,16 +465,26 @@ func queryShard(sh *shardEntry, q geom.Box, out []int32) []int32 {
 // per-shard results in shard order, so the output order is deterministic.
 // Safe for concurrent use.
 func (ix *Index) Query(q geom.Box, out []int32) []int32 {
+	return ix.QueryTraced(q, out, nil)
+}
+
+// QueryTraced is Query with a sampled stage trace attached: tr (which may
+// be nil — the common, unsampled case) receives the fan-out width and the
+// per-shard shared/exclusive stage durations. The serving layer threads the
+// trace of a sampled request down here; everyone else calls Query.
+func (ix *Index) QueryTraced(q geom.Box, out []int32, tr *telemetry.Trace) []int32 {
 	var hitBuf [16]*shardEntry
 	hit := ix.overlapping(q, hitBuf[:0])
+	ix.mFanout.Observe(float64(len(hit)))
+	tr.SetFanout(len(hit))
 	switch len(hit) {
 	case 0:
 		return out
 	case 1:
-		return queryShard(hit[0], q, out)
+		return queryShard(hit[0], q, out, tr)
 	}
 	if ix.workers <= 1 {
-		return querySerial(hit, q, out)
+		return querySerial(hit, q, out, tr)
 	}
 	// Per-shard scratch results come from the engine's buffer pool and are
 	// returned after the merge, so steady-state fan-out performs no slice
@@ -457,17 +510,17 @@ func (ix *Index) Query(q geom.Box, out []int32) []int32 {
 			// fast path an allocation per query.
 			go func(sh *shardEntry, buf *[]int32) {
 				defer wg.Done()
-				*buf = queryShard(sh, q, (*buf)[:0])
+				*buf = queryShard(sh, q, (*buf)[:0], tr)
 				<-ix.sem
 			}(hit[k], buf)
 		default:
-			*buf = queryShard(hit[k], q, (*buf)[:0])
+			*buf = queryShard(hit[k], q, (*buf)[:0], tr)
 		}
 	}
 	// The calling goroutine handles the first shard itself instead of
 	// blocking idle, appending straight into out; it holds no semaphore
 	// slot, so the pool bound applies to the spawned goroutines only.
-	out = queryShard(hit[0], q, out)
+	out = queryShard(hit[0], q, out, tr)
 	wg.Wait()
 	// Merge in shard order: the output order is deterministic regardless of
 	// which shards ran on the pool.
@@ -482,9 +535,9 @@ func (ix *Index) Query(q geom.Box, out []int32) []int32 {
 // QueryBatch uses it too: with many in-flight queries, inter-query
 // parallelism already saturates the cores, and per-query fan-out would only
 // add goroutine churn.
-func querySerial(hit []*shardEntry, q geom.Box, out []int32) []int32 {
+func querySerial(hit []*shardEntry, q geom.Box, out []int32, tr *telemetry.Trace) []int32 {
 	for _, sh := range hit {
-		out = queryShard(sh, q, out)
+		out = queryShard(sh, q, out, tr)
 	}
 	return out
 }

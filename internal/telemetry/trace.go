@@ -1,0 +1,262 @@
+// Sampled per-query stage tracing. One request in every SampleEvery gets a
+// Trace that rides down the stack — admission, coalescing window, shard
+// fan-out, the shared-vs-budgeted-exclusive split, response encoding — and
+// lands in a fixed-size ring buffer when its total latency crosses the slow
+// threshold. GET /debug/slowlog renders the ring, so "why was that query
+// slow" is answerable from a running server: was it parked in the batching
+// window, fanned out too wide, or stuck cracking a cold region?
+//
+// The unsampled hot path pays exactly one atomic add per request; a sampled
+// request draws its Trace from a pool, so steady-state tracing allocates
+// nothing either. Stage recording is atomic because a traced query's shard
+// fan-out touches the trace from several goroutines at once.
+
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage indexes one phase of a traced request's life.
+type Stage int
+
+const (
+	// StageAdmission: waiting for / passing admission control.
+	StageAdmission Stage = iota
+	// StageCoalesce: parked in the batching window waiting for companions.
+	StageCoalesce
+	// StageFanout: total shard fan-out execution (submit to merge).
+	StageFanout
+	// StageShared: inside sub-index shared (read-locked) query walks,
+	// including failed attempts that fell back to the exclusive path.
+	StageShared
+	// StageCrack: inside budgeted-exclusive (write-locked, cracking) query
+	// execution.
+	StageCrack
+	// StageEncode: JSON-encoding and writing the response.
+	StageEncode
+	numStages
+)
+
+// stageNames are the JSON/display names, indexed by Stage.
+var stageNames = [numStages]string{
+	"admission", "coalesce", "fanout", "shared", "crack", "encode",
+}
+
+// Trace accumulates the stage timings of one sampled request. Stage adds
+// are atomic: a fanned-out query records shard stages from several
+// goroutines. All methods are nil-safe no-ops so call sites need no
+// sampled-or-not branches.
+type Trace struct {
+	endpoint  string
+	start     time.Time
+	stages    [numStages]atomic.Int64 // nanoseconds per stage
+	fanout    atomic.Int64            // shards the query overlapped
+	shared    atomic.Int64            // shard probes answered on the shared path
+	exclusive atomic.Int64            // shard probes that fell back to the exclusive path
+	batch     atomic.Int64            // companions in the coalesced batch (incl. self)
+	results   atomic.Int64            // result IDs returned
+}
+
+// AddStage adds d to stage s.
+func (t *Trace) AddStage(s Stage, d time.Duration) {
+	if t != nil {
+		t.stages[s].Add(int64(d))
+	}
+}
+
+// StageSince adds the time elapsed since t0 to stage s.
+func (t *Trace) StageSince(s Stage, t0 time.Time) {
+	if t != nil {
+		t.stages[s].Add(int64(time.Since(t0)))
+	}
+}
+
+// SetFanout records how many shards the query overlapped.
+func (t *Trace) SetFanout(n int) {
+	if t != nil {
+		t.fanout.Store(int64(n))
+	}
+}
+
+// AddSharedProbe counts one shard probe answered on the shared read path.
+func (t *Trace) AddSharedProbe() {
+	if t != nil {
+		t.shared.Add(1)
+	}
+}
+
+// AddExclusiveProbe counts one shard probe that fell back to the
+// budgeted-exclusive (cracking) path.
+func (t *Trace) AddExclusiveProbe() {
+	if t != nil {
+		t.exclusive.Add(1)
+	}
+}
+
+// SetBatchSize records the size of the coalesced batch the query rode in.
+func (t *Trace) SetBatchSize(n int) {
+	if t != nil {
+		t.batch.Store(int64(n))
+	}
+}
+
+// SetResults records the result cardinality.
+func (t *Trace) SetResults(n int) {
+	if t != nil {
+		t.results.Store(int64(n))
+	}
+}
+
+// TraceEntry is one completed trace as the slow-query log stores and
+// serves it (GET /debug/slowlog).
+type TraceEntry struct {
+	Endpoint        string           `json:"endpoint"`
+	Start           time.Time        `json:"start"`
+	TotalMicros     int64            `json:"total_us"`
+	Stages          map[string]int64 `json:"stages_us"`
+	FanoutShards    int              `json:"fanout_shards"`
+	SharedProbes    int              `json:"shared_probes"`
+	ExclusiveProbes int              `json:"exclusive_probes"`
+	BatchSize       int              `json:"batch_size"`
+	Results         int              `json:"results"`
+}
+
+// TraceConfig tunes a Tracer. The zero value disables sampling.
+type TraceConfig struct {
+	// SampleEvery traces one request in every SampleEvery. 1 traces all,
+	// 0 or negative disables tracing.
+	SampleEvery int
+	// SlowThreshold is the minimum total latency for a sampled trace to
+	// enter the slow-query log. 0 logs every sampled trace (the ring is
+	// bounded regardless).
+	SlowThreshold time.Duration
+	// LogSize is the slow-query ring capacity. 0 selects 128.
+	LogSize int
+}
+
+// Tracer samples requests and keeps the slow-query ring. Safe for
+// concurrent use; a nil *Tracer never samples.
+type Tracer struct {
+	every   int64
+	slow    int64 // nanoseconds
+	n       atomic.Int64
+	pool    sync.Pool
+	sampled *Counter // registry counters, nil when not attached
+	logged  *Counter
+
+	mu   sync.Mutex
+	ring []TraceEntry
+	next int
+	full bool
+}
+
+// NewTracer builds a tracer. Attach registry counters with Instrument.
+func NewTracer(cfg TraceConfig) *Tracer {
+	size := cfg.LogSize
+	if size <= 0 {
+		size = 128
+	}
+	t := &Tracer{
+		every: int64(cfg.SampleEvery),
+		slow:  int64(cfg.SlowThreshold),
+		ring:  make([]TraceEntry, size),
+	}
+	t.pool.New = func() interface{} { return new(Trace) }
+	return t
+}
+
+// Instrument registers the tracer's own meta-counters on reg.
+func (t *Tracer) Instrument(reg *Registry) {
+	if t == nil {
+		return
+	}
+	t.sampled = reg.Counter("quasii_server_traces_sampled_total",
+		"Requests sampled for stage tracing.")
+	t.logged = reg.Counter("quasii_server_slow_queries_total",
+		"Sampled traces that crossed the slow threshold into the slowlog.")
+}
+
+// Begin returns a fresh Trace when this request is sampled, nil otherwise.
+// The nil result is safe to use everywhere — every Trace method no-ops on
+// nil — so callers thread it unconditionally.
+func (t *Tracer) Begin(endpoint string) *Trace {
+	if t == nil || t.every <= 0 {
+		return nil
+	}
+	if t.n.Add(1)%t.every != 0 {
+		return nil
+	}
+	t.sampled.Inc()
+	tr := t.pool.Get().(*Trace)
+	tr.endpoint = endpoint
+	tr.start = time.Now()
+	for i := range tr.stages {
+		tr.stages[i].Store(0)
+	}
+	tr.fanout.Store(0)
+	tr.shared.Store(0)
+	tr.exclusive.Store(0)
+	tr.batch.Store(0)
+	tr.results.Store(0)
+	return tr
+}
+
+// Finish completes tr: computes the total, files it into the slow-query
+// ring when it crossed the threshold, and returns the Trace to the pool.
+// tr must not be used afterwards. Nil-safe on both receivers.
+func (t *Tracer) Finish(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	total := time.Since(tr.start)
+	if int64(total) >= t.slow {
+		t.logged.Inc()
+		e := TraceEntry{
+			Endpoint:        tr.endpoint,
+			Start:           tr.start,
+			TotalMicros:     total.Microseconds(),
+			Stages:          make(map[string]int64, numStages),
+			FanoutShards:    int(tr.fanout.Load()),
+			SharedProbes:    int(tr.shared.Load()),
+			ExclusiveProbes: int(tr.exclusive.Load()),
+			BatchSize:       int(tr.batch.Load()),
+			Results:         int(tr.results.Load()),
+		}
+		for i := Stage(0); i < numStages; i++ {
+			if ns := tr.stages[i].Load(); ns > 0 {
+				e.Stages[stageNames[i]] = time.Duration(ns).Microseconds()
+			}
+		}
+		t.mu.Lock()
+		t.ring[t.next] = e
+		t.next = (t.next + 1) % len(t.ring)
+		if t.next == 0 {
+			t.full = true
+		}
+		t.mu.Unlock()
+	}
+	t.pool.Put(tr)
+}
+
+// Slowlog snapshots the ring, newest first.
+func (t *Tracer) Slowlog() []TraceEntry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	if t.full {
+		n = len(t.ring)
+	}
+	out := make([]TraceEntry, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(TraceConfig{SampleEvery: 4})
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if tp := tr.Begin("query"); tp != nil {
+			sampled++
+			tr.Finish(tp)
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("sampled %d of 100 with 1-in-4, want 25", sampled)
+	}
+	// Disabled tracer never samples.
+	off := NewTracer(TraceConfig{SampleEvery: 0})
+	if off.Begin("query") != nil {
+		t.Fatal("SampleEvery=0 should never sample")
+	}
+}
+
+func TestTracerSlowlogContent(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(TraceConfig{SampleEvery: 1, SlowThreshold: 0, LogSize: 8})
+	tr.Instrument(reg)
+	tp := tr.Begin("query")
+	if tp == nil {
+		t.Fatal("SampleEvery=1 must sample")
+	}
+	tp.AddStage(StageCoalesce, 2*time.Millisecond)
+	tp.AddStage(StageShared, 1*time.Millisecond)
+	tp.SetFanout(3)
+	tp.AddSharedProbe()
+	tp.AddSharedProbe()
+	tp.AddExclusiveProbe()
+	tp.SetBatchSize(5)
+	tp.SetResults(17)
+	tr.Finish(tp)
+
+	log := tr.Slowlog()
+	if len(log) != 1 {
+		t.Fatalf("slowlog has %d entries, want 1", len(log))
+	}
+	e := log[0]
+	if e.Endpoint != "query" {
+		t.Fatalf("endpoint = %q", e.Endpoint)
+	}
+	if e.Stages["coalesce"] < 2000 {
+		t.Fatalf("coalesce stage = %dµs, want ≥ 2000", e.Stages["coalesce"])
+	}
+	if e.FanoutShards != 3 || e.SharedProbes != 2 || e.ExclusiveProbes != 1 {
+		t.Fatalf("fanout/shared/exclusive = %d/%d/%d", e.FanoutShards, e.SharedProbes, e.ExclusiveProbes)
+	}
+	if e.BatchSize != 5 || e.Results != 17 {
+		t.Fatalf("batch/results = %d/%d", e.BatchSize, e.Results)
+	}
+	if got := reg.Counter("quasii_server_traces_sampled_total", "").Value(); got != 1 {
+		t.Fatalf("sampled counter = %d, want 1", got)
+	}
+	if got := reg.Counter("quasii_server_slow_queries_total", "").Value(); got != 1 {
+		t.Fatalf("slow counter = %d, want 1", got)
+	}
+}
+
+func TestTracerSlowThresholdFilters(t *testing.T) {
+	tr := NewTracer(TraceConfig{SampleEvery: 1, SlowThreshold: time.Hour})
+	tp := tr.Begin("query")
+	tr.Finish(tp)
+	if len(tr.Slowlog()) != 0 {
+		t.Fatal("sub-threshold trace must not reach the slowlog")
+	}
+}
+
+func TestTracerRingWrapNewestFirst(t *testing.T) {
+	tr := NewTracer(TraceConfig{SampleEvery: 1, LogSize: 4})
+	for i := 0; i < 10; i++ {
+		tp := tr.Begin("query")
+		tp.SetResults(i)
+		tr.Finish(tp)
+	}
+	log := tr.Slowlog()
+	if len(log) != 4 {
+		t.Fatalf("ring kept %d, want 4", len(log))
+	}
+	for i, want := range []int{9, 8, 7, 6} {
+		if log[i].Results != want {
+			t.Fatalf("log[%d].Results = %d, want %d (newest first)", i, log[i].Results, want)
+		}
+	}
+}
+
+func TestTracerPoolReuseResetsState(t *testing.T) {
+	tr := NewTracer(TraceConfig{SampleEvery: 1})
+	tp := tr.Begin("query")
+	tp.SetFanout(9)
+	tp.AddStage(StageCrack, time.Second)
+	tr.Finish(tp)
+	// The next Begin likely reuses the pooled Trace; all fields must be reset.
+	tp2 := tr.Begin("knn")
+	tr.Finish(tp2)
+	log := tr.Slowlog()
+	e := log[0] // newest
+	if e.Endpoint != "knn" || e.FanoutShards != 0 || len(e.Stages) != 0 {
+		t.Fatalf("pooled trace leaked state: %+v", e)
+	}
+}
+
+// TestTracerConcurrent exercises sampling, concurrent stage recording on a
+// shared trace (modelling shard fan-out goroutines), and ring insertion
+// under -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(TraceConfig{SampleEvery: 2, LogSize: 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				tp := tr.Begin("query")
+				if tp == nil {
+					continue
+				}
+				var inner sync.WaitGroup
+				for s := 0; s < 4; s++ {
+					inner.Add(1)
+					go func() {
+						defer inner.Done()
+						tp.AddStage(StageShared, time.Microsecond)
+						tp.AddSharedProbe()
+					}()
+				}
+				inner.Wait()
+				tr.Finish(tp)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(tr.Slowlog()) != 64 {
+		t.Fatalf("ring should be full, got %d", len(tr.Slowlog()))
+	}
+}

@@ -25,8 +25,10 @@ import (
 	"math"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/geom"
+	"repro/internal/telemetry"
 )
 
 // SyncPolicy controls when appended records are fsynced to stable storage.
@@ -73,14 +75,39 @@ const maxPayload = 1 << 30
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// Metrics is the instrumentation a Log reports into. Any field may be nil
+// (telemetry metrics no-op on nil receivers), as may the whole struct. The
+// durable store owns one Metrics value and re-attaches it to each successor
+// log a checkpoint rotation creates, so the series survive rotation.
+type Metrics struct {
+	// Appends counts committed records; AppendedBytes their framed bytes.
+	Appends       *telemetry.Counter
+	AppendedBytes *telemetry.Counter
+	// AppendSeconds is the full commit latency: frame write plus, under
+	// SyncAlways, the fsync — the latency an acknowledged update paid.
+	AppendSeconds *telemetry.Histogram
+	// Fsyncs counts explicit fsyncs; FsyncSeconds their latency, whichever
+	// policy (per-append or interval cadence) issued them.
+	Fsyncs       *telemetry.Counter
+	FsyncSeconds *telemetry.Histogram
+}
+
 // Log is an append-only write-ahead log. Append-side methods are safe for
 // concurrent use.
 type Log struct {
-	mu     sync.Mutex
-	f      *os.File
-	policy SyncPolicy
-	buf    []byte // frame scratch, reused across appends
-	size   int64
+	mu      sync.Mutex
+	f       *os.File
+	policy  SyncPolicy
+	buf     []byte // frame scratch, reused across appends
+	size    int64
+	metrics *Metrics // nil when uninstrumented
+}
+
+// SetMetrics attaches (or detaches, with nil) instrumentation.
+func (l *Log) SetMetrics(m *Metrics) {
+	l.mu.Lock()
+	l.metrics = m
+	l.mu.Unlock()
 }
 
 // Create opens path for appending, creating it if absent. If the file has a
@@ -245,14 +272,38 @@ func (l *Log) commit(p []byte) error {
 	binary.LittleEndian.PutUint32(p[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(p[4:], crc32.Checksum(payload, crcTable))
 	l.buf = p[:0]
+	var t0 time.Time
+	if l.metrics != nil {
+		t0 = time.Now()
+	}
 	if _, err := l.f.Write(p); err != nil {
 		return err
 	}
 	l.size += int64(len(p))
 	if l.policy == SyncAlways {
-		return l.f.Sync()
+		if err := l.syncTimed(); err != nil {
+			return err
+		}
+	}
+	if m := l.metrics; m != nil {
+		m.Appends.Inc()
+		m.AppendedBytes.Add(int64(len(p)))
+		m.AppendSeconds.ObserveDuration(time.Since(t0))
 	}
 	return nil
+}
+
+// syncTimed fsyncs, reporting latency when instrumented. Called with mu held.
+func (l *Log) syncTimed() error {
+	m := l.metrics
+	if m == nil {
+		return l.f.Sync()
+	}
+	t0 := time.Now()
+	err := l.f.Sync()
+	m.Fsyncs.Inc()
+	m.FsyncSeconds.ObserveDuration(time.Since(t0))
+	return err
 }
 
 // Sync forces buffered records to stable storage. Used by the SyncInterval
@@ -260,7 +311,7 @@ func (l *Log) commit(p []byte) error {
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.f.Sync()
+	return l.syncTimed()
 }
 
 // Size returns the current log length in bytes.

@@ -46,6 +46,7 @@ import (
 	"repro/internal/sfc"
 	"repro/internal/shard"
 	"repro/internal/syncidx"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -346,6 +347,27 @@ type (
 
 // NewServer wires the HTTP query service over a sharded index.
 func NewServer(ix *Sharded, cfg ServerConfig) *Server { return server.New(ix, cfg) }
+
+// Observability (internal/telemetry): a dependency-free metrics registry
+// rendered in Prometheus text format on the server's GET /metrics, plus
+// sampled per-query stage tracing served at GET /debug/slowlog. NewServer
+// instruments the server and the engine automatically (on a private
+// registry when ServerConfig.Telemetry is nil); pass an explicit registry —
+// or use Server.Registry() — to put additional subsystems, most notably
+// Store.Instrument, on the same scrape.
+type (
+	// MetricsRegistry collects counters, gauges and histograms and renders
+	// the Prometheus text exposition. Safe for concurrent use.
+	MetricsRegistry = telemetry.Registry
+	// TraceEntry is one sampled slow-query trace as GET /debug/slowlog
+	// serves it: per-stage timings, fan-out width, shared-vs-cracking probe
+	// counts.
+	TraceEntry = telemetry.TraceEntry
+)
+
+// NewMetricsRegistry builds an empty metrics registry, for sharing one
+// scrape between the server (ServerConfig.Telemetry) and other subsystems.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // Persistence. A QUASII index is the accumulated side effect of the queries
 // executed against it, so durability preserves the convergence those

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Lint every metric name registered in the source tree against the naming
+# convention documented in docs/ARCHITECTURE.md:
+#
+#   quasii_<subsystem>_<name>_<unit>
+#
+# where <subsystem> is one of the instrumented layers and the name ends in
+# an approved unit suffix (Prometheus-style: _total for counters, a unit
+# noun for gauges/histograms). Histogram registration names must not carry
+# the _bucket/_sum/_count suffixes — the registry appends those itself.
+#
+# Run from the repository root. Exits non-zero listing every violation.
+set -eu
+
+SUBSYSTEMS='http|server|shard|core|wal|store'
+UNITS='total|seconds|bytes|ratio|objects|queries|requests|shards|slices|seq'
+
+# Every string literal that looks like a metric name, wherever registered.
+# Excluded: tests (they register throwaway quasii_test_* names) and
+# internal/bench (a scrape *consumer* that reads derived histogram series
+# like _count, which are not registration names).
+names=$(grep -rhoE '"quasii_[a-z0-9_]+"' --include='*.go' --exclude='*_test.go' \
+  --exclude-dir=bench internal/ cmd/ *.go 2>/dev/null | tr -d '"' | sort -u)
+
+if [ -z "$names" ]; then
+  echo "metrics-lint: no quasii_* metric names found (wrong directory?)"
+  exit 1
+fi
+
+fail=0
+for name in $names; do
+  if ! echo "$name" | grep -qE "^quasii_($SUBSYSTEMS)_[a-z0-9_]+$"; then
+    echo "metrics-lint: $name: subsystem must be one of: ${SUBSYSTEMS//|/, }"
+    fail=1
+    continue
+  fi
+  if ! echo "$name" | grep -qE "_($UNITS)\$"; then
+    echo "metrics-lint: $name: must end in a unit suffix: ${UNITS//|/, }"
+    fail=1
+  fi
+  case "$name" in
+    *_bucket|*_sum|*_count)
+      echo "metrics-lint: $name: _bucket/_sum/_count are reserved histogram suffixes"
+      fail=1 ;;
+  esac
+done
+
+total=$(echo "$names" | wc -l)
+if [ "$fail" -ne 0 ]; then
+  echo "metrics-lint: FAILED ($total names checked)"
+  exit 1
+fi
+echo "metrics-lint: $total metric names conform"

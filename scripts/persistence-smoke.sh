@@ -53,8 +53,23 @@ start_server
 wait_healthy
 
 echo "== 2. oracle validation against the fresh server"
+# The -oracle run also scrapes /metrics afterwards and fails on an
+# unparsable exposition or counters inconsistent with the traffic driven.
 "$DIR/quasii-loadgen" -addr "$BASE" -oracle -n $N -seed $SEED \
   -clients 4 -queries 300 -wait 10s
+
+echo "== 2b. /metrics scrape"
+METRICS=$(curl -fsS "$BASE/metrics")
+# Shape check: every line is blank, a # HELP/# TYPE comment, or a sample.
+BAD=$(echo "$METRICS" | grep -vE '^$|^# (HELP|TYPE) |^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+Inf-]+$' || true)
+if [ -n "$BAD" ]; then
+  echo "unparsable /metrics lines:"; echo "$BAD"; exit 1
+fi
+# A durable server must expose the persistence series on the same scrape.
+for series in quasii_store_wal_size_bytes quasii_wal_appends_total \
+              quasii_core_slices_refined_total quasii_core_shared_ratio; do
+  echo "$METRICS" | grep -q "^$series" || { echo "/metrics missing $series"; exit 1; }
+done
 
 echo "== 3. insert + graceful SIGTERM"
 # ID 1073742000 >= 2^30: the loadgen oracle ignores it by design.
