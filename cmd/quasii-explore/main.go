@@ -14,6 +14,17 @@
 // Other commands: "auto N" runs N random queries, "knn x y z k" probes the
 // k nearest objects, "complete" finishes refinement eagerly, "chart" draws
 // the latency history, "stats" prints index statistics, "quit" exits.
+//
+// Live mode attaches to a running quasii-serve instead of an in-process
+// index:
+//
+//	quasii-explore -live http://localhost:8080 [-interval 1s] [-samples 5]
+//	               [-maxdepth 2] [-top 4] [-csv heat.csv]
+//
+// It waits for /readyz, then polls /stats, /debug/heat and /debug/index,
+// rendering a convergence/heat report per sample (text histogram on stdout,
+// optional CSV via -csv) and exiting non-zero on any HTTP or JSON failure —
+// see live.go.
 package main
 
 import (
@@ -38,7 +49,30 @@ func main() {
 	n := flag.Int("n", 200000, "number of objects")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	load := flag.String("load", "", "load a dataset file written by quasii-datagen instead of generating")
+	live := flag.String("live", "",
+		"poll a running quasii-serve at this base URL instead of exploring in-process")
+	liveInterval := flag.Duration("interval", time.Second, "pause between -live samples")
+	liveSamples := flag.Int("samples", 5, "number of -live samples")
+	liveMaxDepth := flag.Int("maxdepth", 2, "?maxdepth= forwarded to /debug/index in -live mode")
+	liveTop := flag.Int("top", 4, "hottest tiles listed per -live sample")
+	liveCSV := flag.String("csv", "", "append -live heat grid rows to this CSV file")
 	flag.Parse()
+
+	if *live != "" {
+		err := runLive(liveOptions{
+			url:      *live,
+			interval: *liveInterval,
+			samples:  *liveSamples,
+			maxDepth: *liveMaxDepth,
+			topK:     *liveTop,
+			csvPath:  *liveCSV,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quasii-explore:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var data []geom.Object
 	if *load != "" {

@@ -11,7 +11,8 @@
 //	             [-data-dir DIR] [-fsync always|interval|never]
 //	             [-fsync-interval 100ms] [-checkpoint-every 100000]
 //	             [-pprof :6060] [-trace-sample 64] [-slow-threshold 10ms]
-//	             [-slowlog-size 128]
+//	             [-slowlog-size 128] [-heat-sample 16]
+//	             [-log-level info] [-log-format text] [-dump-metrics]
 //
 // Without -data-dir the server builds the requested synthetic dataset (the
 // same generators the paper's evaluation uses, so a quasii-loadgen started
@@ -38,16 +39,31 @@
 //	GET  /stats                                              metrics and engine state
 //	GET  /metrics                                            Prometheus text exposition
 //	GET  /debug/slowlog                                      sampled slow-query traces
+//	GET  /debug/index                                        hierarchy snapshot (?maxdepth=N)
+//	GET  /debug/heat                                         tile×depth heat grid
 //	GET  /healthz                                            liveness
+//	GET  /readyz                                             readiness (503 while loading)
+//
+// The listener binds before the dataset is built or restored: /healthz
+// answers 200 immediately (the process is alive) while /readyz and every
+// other endpoint answer 503 until the index is loaded — so an orchestrator
+// probing /readyz never routes traffic into a warm restart's replay window.
 //
 // /metrics exposes the full quasii_* registry — per-endpoint latency
 // histograms, the shard engine's shared-vs-cracking path split, the
 // convergence counters (slices refined, shared-path ratio), and with
 // -data-dir the WAL/checkpoint series. -trace-sample N samples one request
 // in N for per-stage tracing; sampled requests slower than -slow-threshold
-// land in the /debug/slowlog ring. /metrics and /debug/slowlog answer
-// outside admission control, so they keep working while the server sheds
-// load with 429s.
+// land in the /debug/slowlog ring. -heat-sample N records per-slice access
+// heat for one query in N (negative disables), feeding /debug/index and
+// /debug/heat. /metrics and the /debug endpoints answer outside admission
+// control, so they keep working while the server sheds load with 429s.
+//
+// Logs are structured (log/slog) on stderr: -log-format selects text or
+// json, -log-level selects debug, info, warn or error. stdout stays clean —
+// -dump-metrics prints the full metrics exposition for the configured stack
+// to stdout and exits, which is how scripts/metrics-lint.sh verifies that
+// every registered series carries HELP and TYPE lines.
 //
 // Overload answers 429 (with Retry-After) once -max-inflight requests are
 // in flight; see the README's Serving and Durability sections for the knobs.
@@ -64,11 +80,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -87,6 +106,52 @@ func pprofMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// newLogger builds the process logger on stderr from the -log-level and
+// -log-format flags (stdout is reserved for -dump-metrics output).
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
+
+// bootHandler answers while the index is still building or restoring:
+// liveness says the process is up, everything else says come back later.
+// The 503s carry Retry-After so impatient clients back off politely.
+func bootHandler(phase string) http.Handler {
+	status := func(code int) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if code != http.StatusOK {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.WriteHeader(code)
+			fmt.Fprintf(w, "{\"status\":\"starting\",\"phase\":%q}\n", phase)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", status(http.StatusOK))
+	mux.HandleFunc("/", status(http.StatusServiceUnavailable))
 	return mux
 }
 
@@ -118,7 +183,19 @@ func main() {
 	slowThreshold := flag.Duration("slow-threshold", 10*time.Millisecond,
 		"sampled requests at least this slow enter GET /debug/slowlog (0 = keep all sampled)")
 	slowlogSize := flag.Int("slowlog-size", 128, "slow-query ring capacity")
+	heatSample := flag.Int("heat-sample", 0,
+		"record per-slice access heat for one query in N (0 = default 16, negative disables)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	dumpMetrics := flag.Bool("dump-metrics", false,
+		"build the configured stack, print its full /metrics exposition to stdout, and exit")
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	buildData := func() []quasii.Object {
 		switch *datasetName {
@@ -127,12 +204,41 @@ func main() {
 		case "neuro":
 			return quasii.NeuroDataset(*n, *seed, quasii.NeuroConfig{})
 		}
-		fmt.Fprintf(os.Stderr, "unknown dataset %q (want uniform or neuro)\n", *datasetName)
+		logger.Error("unknown dataset", "dataset", *datasetName, "want", "uniform or neuro")
 		os.Exit(2)
 		return nil
 	}
 
+	// Bind the listener before the long part (dataset build, snapshot
+	// restore, WAL replay): the boot handler answers /healthz 200 and
+	// everything else 503 until the real service swaps in, so orchestrators
+	// see a live-but-not-ready process instead of connection refused.
+	phase := "building"
+	if *dataDir != "" {
+		phase = "restoring"
+	}
+	var handler atomic.Value // http.Handler: bootHandler, then Server.Handler
+	handler.Store(bootHandler(phase))
+	httpServer := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(http.Handler).ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	if !*dumpMetrics {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			logger.Error("listen failed", "addr", *addr, "err", err)
+			os.Exit(1)
+		}
+		go func() { serveErr <- httpServer.Serve(ln) }()
+		logger.Info("listening", "addr", ln.Addr().String(), "phase", phase)
+	}
+
 	shardCfg := quasii.ShardedConfig{Shards: *shards, Workers: *workers}
+	shardCfg.SubConfig.HeatSampleEvery = *heatSample
 	var ix *quasii.Sharded
 	var store *quasii.Store
 	t0 := time.Now()
@@ -141,7 +247,7 @@ func main() {
 		switch policy {
 		case quasii.FsyncAlways, quasii.FsyncInterval, quasii.FsyncNever:
 		default:
-			fmt.Fprintf(os.Stderr, "unknown -fsync policy %q (want always, interval or never)\n", *fsync)
+			logger.Error("unknown -fsync policy", "fsync", *fsync, "want", "always, interval or never")
 			os.Exit(2)
 		}
 		var err error
@@ -151,32 +257,30 @@ func main() {
 			Fsync:           policy,
 			FsyncEvery:      *fsyncInterval,
 			CheckpointEvery: *checkpointEvery,
+			Logger:          logger,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "quasii-serve: opening %s: %v\n", *dataDir, err)
+			logger.Error("opening data dir failed", "dir", *dataDir, "err", err)
 			os.Exit(1)
 		}
 		ix = store.Index()
-		fmt.Printf("quasii-serve: %d objects from %s (snapshot seq %d, fsync %s, opened in %v)\n",
-			ix.Len(), *dataDir, store.Seq(), policy, time.Since(t0).Round(time.Millisecond))
 	} else {
 		data := buildData()
 		ix = quasii.NewSharded(data, shardCfg)
-		fmt.Printf("quasii-serve: %d %s objects in %d shards (built in %v, GOMAXPROCS %d)\n",
-			len(data), *datasetName, ix.NumShards(), time.Since(t0).Round(time.Millisecond),
-			runtime.GOMAXPROCS(0))
+		logger.Info("index built",
+			"objects", len(data), "dataset", *datasetName, "shards", ix.NumShards(),
+			"elapsed_ms", time.Since(t0).Milliseconds(),
+			"gomaxprocs", runtime.GOMAXPROCS(0))
 	}
-	fmt.Printf("listening on %s  batch-window %v  batch-limit %d  max-inflight %d  flush-every %d\n",
-		*addr, *batchWindow, *batchLimit, *maxInFlight, *flushEvery)
 
 	if *pprofAddr != "" {
 		// Profiling runs on its own listener and its own mux, so profile
 		// scrapes bypass the query service's admission control and cannot be
 		// 429'd away under the very load one wants to profile.
 		go func() {
-			fmt.Printf("pprof listening on %s (/debug/pprof/)\n", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr)
 			err := http.ListenAndServe(*pprofAddr, pprofMux())
-			fmt.Fprintf(os.Stderr, "quasii-serve: pprof: %v\n", err)
+			logger.Error("pprof server stopped", "err", err)
 		}()
 	}
 
@@ -189,6 +293,7 @@ func main() {
 		TraceSampleEvery: *traceSample,
 		SlowThreshold:    *slowThreshold,
 		SlowlogSize:      *slowlogSize,
+		Logger:           logger,
 	}
 	if store != nil {
 		serverCfg.Durability = store
@@ -200,42 +305,61 @@ func main() {
 		// checkpoint series) joins the same scrape here.
 		store.Instrument(s.Registry())
 	}
-	httpServer := &http.Server{
-		Addr:              *addr,
-		Handler:           s.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-		IdleTimeout:       60 * time.Second,
+
+	if *dumpMetrics {
+		if err := s.Registry().WriteText(os.Stdout); err != nil {
+			logger.Error("writing metrics dump failed", "err", err)
+			os.Exit(1)
+		}
+		if store != nil {
+			if err := store.Close(); err != nil {
+				logger.Error("closing store after dump failed", "err", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
-	// Graceful shutdown: SIGTERM/SIGINT stops accepting requests, drains
-	// in-flight ones, then checkpoints so the next start is a warm restart
-	// with no WAL replay.
+	// The index is loaded: swap the real service in. Its /readyz answers
+	// ready from here on (Server starts ready; the boot handler supplied
+	// the 503s until this instant).
+	handler.Store(s.Handler())
+	logger.Info("serving",
+		"addr", *addr, "objects", ix.Len(), "shards", ix.NumShards(),
+		"batch_window", batchWindow.String(), "batch_limit", *batchLimit,
+		"max_inflight", *maxInFlight, "flush_every", *flushEvery,
+		"elapsed_ms", time.Since(t0).Milliseconds())
+
+	// Graceful shutdown: SIGTERM/SIGINT flips readiness off (load balancers
+	// stop routing), stops accepting requests, drains in-flight ones, then
+	// checkpoints so the next start is a warm restart with no WAL replay.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := <-sigCh
-		fmt.Printf("quasii-serve: %v: shutting down\n", sig)
+		logger.Info("shutting down", "signal", sig.String())
+		s.SetReady(false)
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpServer.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "quasii-serve: shutdown: %v\n", err)
+			logger.Error("shutdown failed", "err", err)
 		}
 		if store != nil {
 			if err := store.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "quasii-serve: final snapshot: %v\n", err)
+				logger.Error("final snapshot failed", "err", err)
 				os.Exit(1)
 			}
-			fmt.Println("quasii-serve: final snapshot written")
+			logger.Info("final snapshot written")
 		}
 	}()
 
-	err := httpServer.ListenAndServe()
+	err = <-serveErr
 	if err == http.ErrServerClosed {
 		<-done // wait for the final snapshot
 		return
 	}
-	fmt.Fprintf(os.Stderr, "quasii-serve: %v\n", err)
+	logger.Error("server stopped", "err", err)
 	os.Exit(1)
 }

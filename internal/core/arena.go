@@ -33,5 +33,6 @@ func (ix *Index) newSlice(level, lo, hi int, box geom.Box) *slice {
 	s.box = box
 	s.children = nil
 	s.refined = false
+	s.heat.Store(0)
 	return s
 }

@@ -78,6 +78,23 @@ func BenchmarkQueryConverged(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryConvergedHeat is BenchmarkQueryConverged with access-heat
+// tracking at its default sampling rate — the pair quantifies the cost of
+// the introspection layer on the hot path (budget: within 3%, 0 allocs/op).
+func BenchmarkQueryConvergedHeat(b *testing.B) {
+	const n = 200_000
+	data := dataset.Uniform(n, 45)
+	ix := New(data, Config{HeatSampleEvery: DefaultHeatSampleEvery})
+	ix.Complete()
+	queries := workload.Uniform(dataset.Universe(), 1024, 1e-4, 46)
+	var out []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = ix.Query(queries[i%len(queries)], out[:0])
+	}
+}
+
 // BenchmarkQueryCrackHeavy measures the adaptive regime: a burst of queries
 // against a fresh index, dominated by cracking rather than scanning.
 func BenchmarkQueryCrackHeavy(b *testing.B) {

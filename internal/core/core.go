@@ -78,10 +78,25 @@ type Config struct {
 	// this flag exists for deployments that wrap every index in a shard lock
 	// and take their metrics at the serving layer instead.
 	DisableStats bool
+	// HeatSampleEvery records per-slice access heat for one query in every
+	// N: a sampled query atomically increments the touch counter of every
+	// slice it descends through or scans, on both the exclusive and the
+	// shared read path. The counters feed Inspect (and, above it, the
+	// serving layer's /debug/index and /debug/heat); sampling keeps the
+	// converged query path allocation-free and inside its overhead budget.
+	// 0 selects DefaultHeatSampleEvery; negative disables heat tracking
+	// entirely, mirroring DisableStats.
+	HeatSampleEvery int
 }
 
 // DefaultTau is the leaf-slice capacity used by the paper's evaluation.
 const DefaultTau = 60
+
+// DefaultHeatSampleEvery is the access-heat sampling period when
+// Config.HeatSampleEvery is 0: one query in 16 records its slice touches,
+// cheap enough to leave on in production while still resolving hot regions
+// after a few hundred queries.
+const DefaultHeatSampleEvery = 16
 
 // Stats counts the work performed by the index since Build. All counters are
 // cumulative and monotone; they exist to explain convergence behaviour.
@@ -106,6 +121,12 @@ type slice struct {
 	box      geom.Box // exact MBB once refined; open-ended before
 	children *sliceList
 	refined  bool // size() <= tau[level] and box is the exact MBB
+	// heat counts sampled query touches (see Config.HeatSampleEvery).
+	// Atomic because shared-path queries record concurrently; monotone for
+	// the lifetime of the node. A slice replaced by refinement takes its
+	// heat to the grave — converged slices, the ones heat is for, are never
+	// replaced. Not persisted: a restored index starts cold.
+	heat atomic.Int64
 }
 
 func (s *slice) size() int { return s.hi - s.lo }
@@ -181,6 +202,44 @@ type Index struct {
 	// later queries, with correctness preserved by scanning the unrefined
 	// ranges. Set by QueryBudgeted, reset to -1 afterwards.
 	remCracks int
+
+	// heatEvery is the resolved access-heat sampling period (0 = disabled);
+	// heatTick is the query counter it divides. The tick is atomic because
+	// shared-path queries sample concurrently; recordHeat caches the
+	// decision for the exclusive query in flight (single-threaded under the
+	// caller's write lock, like remCracks).
+	heatEvery  int64
+	heatTick   atomic.Int64
+	recordHeat bool
+}
+
+// heatEveryFor resolves Config.HeatSampleEvery to the stored period.
+func heatEveryFor(cfg Config) int64 {
+	switch {
+	case cfg.HeatSampleEvery < 0:
+		return 0
+	case cfg.HeatSampleEvery == 0:
+		return DefaultHeatSampleEvery
+	default:
+		return int64(cfg.HeatSampleEvery)
+	}
+}
+
+// sampleHeat decides whether the query now starting records slice heat.
+// Safe to call concurrently (shared-path queries sample independently).
+func (ix *Index) sampleHeat() bool {
+	e := ix.heatEvery
+	if e == 0 {
+		return false
+	}
+	return ix.heatTick.Add(1)%e == 0
+}
+
+// touchHeat records one sampled query touch on s.
+func (s *slice) touchHeat(record bool) {
+	if record {
+		s.heat.Add(1)
+	}
 }
 
 // New builds a QUASII index over data. The objects are ingested into the
@@ -201,6 +260,7 @@ func New(data []geom.Object, cfg Config) *Index {
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		noStats:   cfg.DisableStats,
 		remCracks: -1,
+		heatEvery: heatEveryFor(cfg),
 	}
 	ix.maxExt = ix.data.MaxExtents()
 	ix.dataMBB = ix.data.MBB(0, ix.data.Len())
@@ -354,6 +414,7 @@ func (ix *Index) queryPositions(q geom.Box, out []int32) []int32 {
 	if ix.data.Len() == 0 || q.IsEmpty() {
 		return out
 	}
+	ix.recordHeat = ix.sampleHeat()
 	return ix.queryList(q, ix.root, 0, out)
 }
 
@@ -428,6 +489,7 @@ func (ix *Index) queryList(q geom.Box, list *sliceList, dim int, out []int32) []
 
 // processSlice scans a bottom-level slice or descends into the next level.
 func (ix *Index) processSlice(s *slice, q geom.Box, dim int, out []int32) []int32 {
+	s.touchHeat(ix.recordHeat)
 	if dim == geom.Dims-1 {
 		return ix.scanSlice(s, q, out)
 	}

@@ -215,6 +215,7 @@ func buildIndex(cfg Config, data *colstore.Table, pending []geom.Object, deleted
 		noStats:   cfg.DisableStats,
 		stats:     st,
 		remCracks: -1,
+		heatEvery: heatEveryFor(cfg),
 	}
 	// SharedQueries lives in an atomic counter outside the plain Stats block;
 	// move the persisted value back home so Stats() keeps folding it in.

@@ -72,7 +72,7 @@ func (ix *Index) QueryShared(q geom.Box, out []int32) ([]int32, bool) {
 	e := ix.epoch.Load()
 	if ix.data.Len() > 0 && !q.IsEmpty() {
 		var ok bool
-		out, ok = ix.queryListShared(q, ix.root, 0, out)
+		out, ok = ix.queryListShared(q, ix.root, 0, out, ix.sampleHeat())
 		if !ok || ix.epoch.Load() != e {
 			return out[:start], false
 		}
@@ -115,8 +115,11 @@ func (ix *Index) QueryShared(q geom.Box, out []int32) ([]int32, bool) {
 
 // queryListShared is the read-only mirror of queryList: same sibling binary
 // search, same descent, but any slice that the exclusive path would have to
-// touch — finalize, give a child, or crack — aborts the walk instead.
-func (ix *Index) queryListShared(q geom.Box, list *sliceList, dim int, out []int32) ([]int32, bool) {
+// touch — finalize, give a child, or crack — aborts the walk instead. heat
+// is threaded as a parameter (not an Index field) because any number of
+// shared walks run concurrently; the only mutation a sampled walk performs
+// is the atomic touch counter, which is still "read-only" structurally.
+func (ix *Index) queryListShared(q geom.Box, list *sliceList, dim int, out []int32, heat bool) ([]int32, bool) {
 	fastPath := ix.cfg.Assign == AssignLower && !math.IsInf(list.maxExt, 1)
 	var i int
 	if fastPath {
@@ -133,6 +136,7 @@ func (ix *Index) queryListShared(q geom.Box, list *sliceList, dim int, out []int
 		if !s.refined {
 			return out, false // needs finalization or cracking: exclusive work
 		}
+		s.touchHeat(heat)
 		if dim == geom.Dims-1 {
 			out = ix.data.ScanIntersect(s.lo, s.hi, q, out)
 			continue
@@ -141,7 +145,7 @@ func (ix *Index) queryListShared(q geom.Box, list *sliceList, dim int, out []int
 			return out, false // lazy child creation is exclusive work
 		}
 		var ok bool
-		out, ok = ix.queryListShared(q, s.children, dim+1, out)
+		out, ok = ix.queryListShared(q, s.children, dim+1, out, heat)
 		if !ok {
 			return out, false
 		}
@@ -165,7 +169,7 @@ func (ix *Index) CountShared(q geom.Box) (int, bool) {
 	n := 0
 	if ix.data.Len() > 0 && !q.IsEmpty() {
 		var ok bool
-		n, ok = ix.countListShared(q, ix.root, 0)
+		n, ok = ix.countListShared(q, ix.root, 0, ix.sampleHeat())
 		if !ok || ix.epoch.Load() != e {
 			return 0, false
 		}
@@ -184,7 +188,7 @@ func (ix *Index) CountShared(q geom.Box) (int, bool) {
 }
 
 // countListShared mirrors queryListShared but only counts matches.
-func (ix *Index) countListShared(q geom.Box, list *sliceList, dim int) (int, bool) {
+func (ix *Index) countListShared(q geom.Box, list *sliceList, dim int, heat bool) (int, bool) {
 	fastPath := ix.cfg.Assign == AssignLower && !math.IsInf(list.maxExt, 1)
 	var i int
 	if fastPath {
@@ -202,6 +206,7 @@ func (ix *Index) countListShared(q geom.Box, list *sliceList, dim int) (int, boo
 		if !s.refined {
 			return 0, false
 		}
+		s.touchHeat(heat)
 		if dim == geom.Dims-1 {
 			n += ix.data.CountIntersect(s.lo, s.hi, q)
 			continue
@@ -209,7 +214,7 @@ func (ix *Index) countListShared(q geom.Box, list *sliceList, dim int) (int, boo
 		if s.children == nil {
 			return 0, false
 		}
-		c, ok := ix.countListShared(q, s.children, dim+1)
+		c, ok := ix.countListShared(q, s.children, dim+1, heat)
 		if !ok {
 			return 0, false
 		}
@@ -222,7 +227,8 @@ func (ix *Index) countListShared(q geom.Box, list *sliceList, dim int) (int, boo
 // reports false when the probed region is not yet converged, or when
 // pending inserts or tombstones require the exclusive path's Flush. The
 // search mirrors KNN: an expanding probe cube plus one exactness pass, all
-// probes read-only.
+// probes read-only. The probes never record heat: a single KNN re-walks the
+// same slices once per expansion, which would overweight them in the map.
 func (ix *Index) KNNShared(p geom.Point, k int) ([]Neighbor, bool) {
 	if len(ix.pending) > 0 || len(ix.deleted) > 0 {
 		return nil, false // KNN folds updates in first (Flush): exclusive work
@@ -248,7 +254,7 @@ func (ix *Index) KNNShared(p geom.Point, k int) ([]Neighbor, bool) {
 	var pos []int32
 	var ok bool
 	for {
-		pos, ok = ix.queryListShared(geom.BoxAt(p, side), ix.root, 0, pos[:0])
+		pos, ok = ix.queryListShared(geom.BoxAt(p, side), ix.root, 0, pos[:0], false)
 		if !ok {
 			return nil, false
 		}
@@ -258,7 +264,7 @@ func (ix *Index) KNNShared(p geom.Point, k int) ([]Neighbor, bool) {
 		side *= 2
 	}
 	if len(pos) < k {
-		pos, ok = ix.queryListShared(span.Expand(geom.Point{1, 1, 1}), ix.root, 0, pos[:0])
+		pos, ok = ix.queryListShared(span.Expand(geom.Point{1, 1, 1}), ix.root, 0, pos[:0], false)
 		if !ok {
 			return nil, false
 		}
@@ -266,7 +272,7 @@ func (ix *Index) KNNShared(p geom.Point, k int) ([]Neighbor, bool) {
 	nn := ix.rank(pos, p, k)
 	if len(nn) >= k {
 		radius := math.Sqrt(nn[k-1].DistSq)
-		pos, ok = ix.queryListShared(geom.BoxAt(p, 2*radius+1e-9), ix.root, 0, pos[:0])
+		pos, ok = ix.queryListShared(geom.BoxAt(p, 2*radius+1e-9), ix.root, 0, pos[:0], false)
 		if !ok {
 			return nil, false
 		}

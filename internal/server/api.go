@@ -130,11 +130,39 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// HealthResponse answers /healthz.
+// RuntimeInfo identifies the serving process: binary version (module
+// version or VCS revision), Go toolchain, and the GOMAXPROCS the engine's
+// defaults derive from. Shared by /healthz and /stats.
+type RuntimeInfo struct {
+	Version    string `json:"version"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// HealthResponse answers /healthz (liveness: the process accepts requests).
 type HealthResponse struct {
-	Status  string `json:"status"`
-	Objects int    `json:"objects"`
-	Shards  int    `json:"shards"`
+	Status  string      `json:"status"`
+	Objects int         `json:"objects"`
+	Shards  int         `json:"shards"`
+	Runtime RuntimeInfo `json:"runtime"`
+}
+
+// RecoveryInfo reports where the running index came from: the snapshot it
+// was restored from (0 = none), the WAL records replayed on top, whether
+// the store bootstrapped fresh state, and how long the restore took.
+type RecoveryInfo struct {
+	SnapshotSeq        uint64  `json:"snapshot_seq"`
+	WALRecordsReplayed int64   `json:"wal_records_replayed"`
+	Bootstrapped       bool    `json:"bootstrapped"`
+	RestoreSeconds     float64 `json:"restore_seconds"`
+}
+
+// ReadyResponse answers /readyz (readiness: state is loaded and traffic is
+// safe). Recovery is present when the server runs over a durable store.
+type ReadyResponse struct {
+	Ready    bool          `json:"ready"`
+	Status   string        `json:"status"`
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
 }
 
 // EndpointStats is the per-endpoint slice of /stats: request counts and the
@@ -201,6 +229,7 @@ type DurabilityStats struct {
 // StatsResponse answers GET /stats.
 type StatsResponse struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Runtime       RuntimeInfo              `json:"runtime"`
 	Index         IndexStats               `json:"index"`
 	Admission     AdmissionStats           `json:"admission"`
 	Batcher       BatcherStats             `json:"batcher"`

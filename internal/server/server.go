@@ -14,8 +14,14 @@
 //   - /stats     per-endpoint latency/QPS metrics, admission and batching
 //     counters, aggregated shard/QUASII statistics
 //   - /healthz   liveness
+//   - /readyz    readiness (503 until restored state is loaded)
 //   - /snapshot  admin checkpoint trigger (requires Config.Durability):
 //     writes a fresh snapshot, truncates the write-ahead log
+//
+// Observability endpoints stay outside admission control so they answer
+// while the server sheds load: /metrics (Prometheus text), /debug/slowlog
+// (sampled slow traces), /debug/index (hierarchy snapshot with per-slice
+// heat) and /debug/heat (tile×depth heat grid); see debug.go.
 //
 // With Config.Durability set (see internal/durable), /insert and /delete
 // are appended to a write-ahead log before they are applied or
@@ -32,10 +38,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -98,6 +106,11 @@ type Config struct {
 	SlowThreshold time.Duration
 	// SlowlogSize is the slow-query ring capacity. 0 selects 128.
 	SlowlogSize int
+	// Logger receives the server's structured log records (request
+	// failures, background flush errors, lifecycle events). Nil discards
+	// them — the library stays silent unless a caller opts in, and the
+	// handlers never pay for record formatting.
+	Logger *slog.Logger
 }
 
 // Durability is the optional persistence hook behind the serving layer:
@@ -117,6 +130,15 @@ type Durability interface {
 // decoupled from the store's types.
 type DurabilityStatser interface {
 	DurabilityStats() (snapshotSeq uint64, walBytes int64, checkpoints int64, lastCheckpointSeconds float64)
+}
+
+// DurabilityRecoverer is the optional recovery-state probe: a Durability
+// implementation that also satisfies it (internal/durable.Store does) gets
+// its warm-restart provenance folded into /readyz, so the probe can report
+// what the running index was restored from. Same tuple-return decoupling as
+// DurabilityStatser.
+type DurabilityRecoverer interface {
+	RecoveryInfo() (snapshotSeq uint64, walRecordsReplayed int64, bootstrapped bool, restoreSeconds float64)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -162,12 +184,24 @@ type Server struct {
 
 	reg    *telemetry.Registry // never nil after New
 	tracer *telemetry.Tracer   // never nil after New; samples per Config
+	log    *slog.Logger        // never nil after New; discards by default
+
+	// ready gates /readyz. New sets it true — an in-process server over an
+	// already-built index is ready the moment it exists — and process
+	// embeddings that restore state after binding the listener (quasii-serve
+	// warm restart) flip it through SetReady.
+	ready atomic.Bool
 }
 
 // New wires a server over the given sharded index.
 func New(ix *shard.Index, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{ix: ix, cfg: cfg, start: time.Now()}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	s.ready.Store(true)
 	s.reg = cfg.Telemetry
 	if s.reg == nil {
 		s.reg = telemetry.NewRegistry()
@@ -196,6 +230,11 @@ func New(ix *shard.Index, cfg Config) *Server {
 	// answers its liveness probe.
 	s.route("/stats", true, []string{http.MethodGet}, s.handleStats)
 	s.route("/healthz", false, []string{http.MethodGet}, s.handleHealthz)
+	// /readyz is the readiness probe: like /healthz it bypasses admission,
+	// but it answers 503 until the embedding process declares its state
+	// loaded (SetReady) — a warm-restarting server is alive long before it
+	// is safe to route traffic to.
+	s.route("/readyz", false, []string{http.MethodGet}, s.handleReadyz)
 	// /snapshot writes every shard under its read lock, so it rides with
 	// query traffic but must still hold an admission slot like any other
 	// index-touching request.
@@ -205,8 +244,17 @@ func New(ix *shard.Index, cfg Config) *Server {
 	// must keep answering. The scrape's shard walk rides the read path.
 	s.route("/metrics", false, []string{http.MethodGet}, s.handleMetrics)
 	s.route("/debug/slowlog", false, []string{http.MethodGet}, s.handleSlowlog)
+	// The introspection endpoints (debug.go) join them outside admission;
+	// their shard walk rides the read path like a /metrics scrape.
+	s.route("/debug/index", false, []string{http.MethodGet}, s.handleDebugIndex)
+	s.route("/debug/heat", false, []string{http.MethodGet}, s.handleDebugHeat)
 	return s
 }
+
+// SetReady flips the /readyz readiness state. Embedding processes call
+// SetReady(false) before long state loads (snapshot restore, WAL replay) and
+// SetReady(true) once traffic is safe; New starts servers ready.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // Registry returns the server's metrics registry (the one /metrics
 // renders) so callers can instrument adjacent subsystems — the durable
@@ -334,6 +382,16 @@ func (s *Server) route(path string, admit bool, methods []string, h http.Handler
 		mDur.ObserveDuration(d)
 		if sw.status >= 400 {
 			mErr.Inc()
+			// 5xx means the server failed the request, which an operator
+			// needs to see; 4xx is the client's problem and stays at debug
+			// so a misbehaving client cannot flood the log at default level.
+			lvl := slog.LevelDebug
+			if sw.status >= 500 {
+				lvl = slog.LevelWarn
+			}
+			s.log.Log(r.Context(), lvl, "request failed",
+				"endpoint", name, "method", r.Method, "status", sw.status,
+				"duration_ms", float64(d)/float64(time.Millisecond))
 		}
 	})
 }
@@ -641,7 +699,11 @@ func (s *Server) maybeFlush(n int) {
 		// pay for folding every shard. Still bounded by the exec slots, and
 		// Flush is safe concurrently with everything (per-shard locks).
 		go s.adm.exec(func() {
-			_ = s.ix.Flush()
+			if err := s.ix.Flush(); err != nil {
+				// Detached from any request, so the log is the only place
+				// this failure can surface.
+				s.log.Error("background flush failed", "err", err)
+			}
 			s.pending.Store(0)
 		})
 	}
@@ -653,6 +715,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.ix.Stats()
 	resp := StatsResponse{
 		UptimeSeconds: uptime.Seconds(),
+		Runtime:       runtimeInfo(),
 		Index: IndexStats{
 			Objects:       st.Objects,
 			Shards:        st.Shards,
@@ -707,6 +770,47 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SnapshotResponse{Seq: seq})
 }
 
+// buildVersion resolves the binary's version once: the module version when
+// built from a tagged checkout, otherwise the VCS revision debug.ReadBuildInfo
+// embeds, otherwise "unknown" (tests, go run).
+var buildVersion = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	rev, dirty := "", false
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			dirty = kv.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+})
+
+// runtimeInfo snapshots the process identity shared by /healthz and /stats.
+func runtimeInfo() RuntimeInfo {
+	return RuntimeInfo{
+		Version:    buildVersion(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
 // handleHealthz is the liveness probe. It must answer even while every
 // shard lock is held by cracking queries, so it reads only lock-free state.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -714,5 +818,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:  "ok",
 		Objects: s.ix.ApproxLen(),
 		Shards:  s.ix.NumShards(),
+		Runtime: runtimeInfo(),
 	})
+}
+
+// handleReadyz is the readiness probe: 503 until the embedding process has
+// declared its state loaded (see SetReady), 200 with the recovery provenance
+// afterwards. Like /healthz it reads only lock-free state, so it answers
+// while every shard lock is held.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyResponse{Ready: s.ready.Load(), Status: "ready"}
+	if dr, ok := s.cfg.Durability.(DurabilityRecoverer); ok {
+		seq, replayed, bootstrapped, secs := dr.RecoveryInfo()
+		resp.Recovery = &RecoveryInfo{
+			SnapshotSeq:        seq,
+			WALRecordsReplayed: replayed,
+			Bootstrapped:       bootstrapped,
+			RestoreSeconds:     secs,
+		}
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		resp.Status = "loading"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }

@@ -1,0 +1,86 @@
+// Engine-level introspection: one IndexReport aggregating the per-tile
+// hierarchy snapshots of every shard, overflow included. The serving layer
+// turns this into /debug/index and /debug/heat; quasii-explore renders it.
+
+package shard
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Inspector is satisfied by sub-indexes that expose a hierarchy snapshot
+// (core.Index does). Sub-indexes built by a custom Config.New without the
+// method still appear in the report — tile bounds and object count — with
+// Supported false.
+type Inspector interface {
+	Inspect(maxDepth int) core.InspectReport
+}
+
+// TileReport is one shard's slice of the engine report.
+type TileReport struct {
+	// Shard names the tile: "0".."N-1" for the spatial shards in build
+	// order, "overflow" for the lazy out-of-tile shard. Matches the shard
+	// label on the per-shard telemetry gauges.
+	Shard string `json:"shard"`
+	// Tile is the build-time STR tile MBB (immutable; routes inserts);
+	// Bounds is the live MBB, which only ever grows.
+	Tile   geom.Box `json:"tile"`
+	Bounds geom.Box `json:"bounds"`
+	// Objects counts rows in the shard's sub-index.
+	Objects int `json:"objects"`
+	// Supported reports whether the sub-index implements Inspector; when
+	// false, Index is the zero report.
+	Supported bool `json:"supported"`
+	// Index is the sub-index hierarchy snapshot.
+	Index core.InspectReport `json:"index"`
+}
+
+// IndexReport is a point-in-time snapshot of the whole sharded engine.
+type IndexReport struct {
+	// Shards counts the spatial shards (the overflow shard, when present,
+	// appears in Tiles but not here, matching Stats.Shards).
+	Shards  int `json:"shards"`
+	Workers int `json:"workers"`
+	// Objects sums the per-tile object counts at snapshot time.
+	Objects int `json:"objects"`
+	// TileMBB is the union of the build-time tiles (the insert router).
+	TileMBB geom.Box `json:"tile_mbb"`
+	// Tiles holds one report per shard, build order first, overflow last.
+	Tiles []TileReport `json:"tiles"`
+}
+
+// Inspect snapshots every shard under its read lock and aggregates the
+// per-tile reports. maxDepth is forwarded to each sub-index (see
+// core.Index.Inspect); the walk rides with shared-path readers, so a
+// concurrent cracking query on some shard delays only that shard's entry.
+// Shards are snapshotted in turn, not atomically — tiles may disagree by a
+// few in-flight queries, which is fine for an observability surface.
+func (ix *Index) Inspect(maxDepth int) IndexReport {
+	rep := IndexReport{
+		Shards:  len(ix.shards),
+		Workers: ix.workers,
+		TileMBB: ix.tileMBB,
+	}
+	i := 0
+	ix.forEach(func(sh *shardEntry) {
+		name := "overflow"
+		if i < len(ix.shards) {
+			name = strconv.Itoa(i)
+		}
+		i++
+		t := TileReport{Shard: name, Tile: sh.tile, Bounds: sh.boundsBox()}
+		sh.mu.RLock()
+		t.Objects = sh.sub.Len()
+		if insp, ok := sh.sub.(Inspector); ok {
+			t.Supported = true
+			t.Index = insp.Inspect(maxDepth)
+		}
+		sh.mu.RUnlock()
+		rep.Objects += t.Objects
+		rep.Tiles = append(rep.Tiles, t)
+	})
+	return rep
+}

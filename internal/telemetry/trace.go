@@ -146,6 +146,7 @@ type Tracer struct {
 	pool    sync.Pool
 	sampled *Counter // registry counters, nil when not attached
 	logged  *Counter
+	dropped *Counter
 
 	mu   sync.Mutex
 	ring []TraceEntry
@@ -177,6 +178,8 @@ func (t *Tracer) Instrument(reg *Registry) {
 		"Requests sampled for stage tracing.")
 	t.logged = reg.Counter("quasii_server_slow_queries_total",
 		"Sampled traces that crossed the slow threshold into the slowlog.")
+	t.dropped = reg.Counter("quasii_server_slowlog_dropped_total",
+		"Slowlog entries overwritten by ring wraparound before being scraped.")
 }
 
 // Begin returns a fresh Trace when this request is sampled, nil otherwise.
@@ -231,6 +234,13 @@ func (t *Tracer) Finish(tr *Trace) {
 			}
 		}
 		t.mu.Lock()
+		// Once the ring has wrapped, every write evicts the oldest entry;
+		// the dropped counter makes that loss visible so a scraper knows
+		// when its window is too small (or its cadence too slow) for the
+		// trace rate.
+		if t.full {
+			t.dropped.Inc()
+		}
 		t.ring[t.next] = e
 		t.next = (t.next + 1) % len(t.ring)
 		if t.next == 0 {

@@ -101,7 +101,16 @@ type Log struct {
 	buf     []byte // frame scratch, reused across appends
 	size    int64
 	metrics *Metrics // nil when uninstrumented
+	// truncated records how many torn-tail bytes open-time recovery cut
+	// from the file — fixed at Create/OpenReplay so callers can log it.
+	truncated int64
 }
+
+// TruncatedBytes reports how many bytes of torn or corrupt tail were cut
+// when the log was opened (0 for a clean file). A non-zero value is the
+// footprint of a crash mid-append: expected after unclean shutdown, worth
+// surfacing in logs either way.
+func (l *Log) TruncatedBytes() int64 { return l.truncated }
 
 // SetMetrics attaches (or detaches, with nil) instrumentation.
 func (l *Log) SetMetrics(m *Metrics) {
@@ -123,6 +132,11 @@ func Create(path string, policy SyncPolicy) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
+	torn, err := tornTail(f, good)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
 	if err := f.Truncate(good); err != nil {
 		f.Close()
 		return nil, err
@@ -131,7 +145,19 @@ func Create(path string, policy SyncPolicy) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Log{f: f, policy: policy, size: good}, nil
+	return &Log{f: f, policy: policy, size: good, truncated: torn}, nil
+}
+
+// tornTail measures how far the file extends past the last intact record.
+func tornTail(f *os.File, good int64) (int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if t := fi.Size() - good; t > 0 {
+		return t, nil
+	}
+	return 0, nil
 }
 
 // OpenReplay opens the log at path for appending after replaying it: every
@@ -167,6 +193,11 @@ func OpenReplay(path string, policy SyncPolicy, apply func(*Record) error) (*Log
 		off += int64(8 + rec.frameLen)
 		n++
 	}
+	torn, err := tornTail(f, off)
+	if err != nil {
+		f.Close()
+		return nil, n, err
+	}
 	if err := f.Truncate(off); err != nil {
 		f.Close()
 		return nil, n, err
@@ -175,7 +206,7 @@ func OpenReplay(path string, policy SyncPolicy, apply func(*Record) error) (*Log
 		f.Close()
 		return nil, n, err
 	}
-	return &Log{f: f, policy: policy, size: off}, n, nil
+	return &Log{f: f, policy: policy, size: off, truncated: torn}, n, nil
 }
 
 // Replay reads every intact record of the log at path in order, invoking

@@ -331,10 +331,12 @@ func NewSharded(data []Object, cfg ShardedConfig) *Sharded { return shard.New(da
 type (
 	// Server is the HTTP query service. Mount Handler() into any
 	// http.Server, or call ListenAndServe/Serve directly. Endpoints:
-	// /query, /batch, /knn, /insert, /delete, /stats, /healthz.
+	// /query, /batch, /knn, /insert, /delete, /stats, /healthz, /readyz,
+	// plus the introspection surface under /debug (index, heat, slowlog).
 	Server = server.Server
 	// ServerConfig tunes batching (BatchWindow, BatchLimit), admission
-	// control (MaxInFlight, ExecSlots), and update folding (FlushEvery).
+	// control (MaxInFlight, ExecSlots), update folding (FlushEvery), and
+	// lifecycle logging (Logger, a *log/slog.Logger; nil discards).
 	// The zero value is production-usable.
 	ServerConfig = server.Config
 	// ShardUpdatable is the optional sub-index interface behind
@@ -350,7 +352,11 @@ func NewServer(ix *Sharded, cfg ServerConfig) *Server { return server.New(ix, cf
 
 // Observability (internal/telemetry): a dependency-free metrics registry
 // rendered in Prometheus text format on the server's GET /metrics, plus
-// sampled per-query stage tracing served at GET /debug/slowlog. NewServer
+// sampled per-query stage tracing served at GET /debug/slowlog. The
+// structural counterpart is the introspection layer: Index.Inspect and
+// Sharded.Inspect snapshot the slice hierarchy with per-slice access heat
+// (Config.HeatSampleEvery governs the sampling rate), and the server
+// publishes it on GET /debug/index and GET /debug/heat. NewServer
 // instruments the server and the engine automatically (on a private
 // registry when ServerConfig.Telemetry is nil); pass an explicit registry —
 // or use Server.Registry() — to put additional subsystems, most notably

@@ -51,3 +51,29 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 echo "metrics-lint: $total metric names conform"
+
+# Second pass: every registered series must actually be described on a real
+# exposition. -dump-metrics boots a durability-backed server far enough to
+# register every subsystem, writes the registry to stdout, and exits; each
+# name grepped from the source must carry a # HELP line with prose and a
+# # TYPE line naming a valid Prometheus type.
+DUMPDIR=$(mktemp -d)
+trap 'rm -rf "$DUMPDIR"' EXIT
+dump=$(go run ./cmd/quasii-serve -dump-metrics -n 2000 -data-dir "$DUMPDIR/data")
+
+for name in $names; do
+  if ! echo "$dump" | grep -qE "^# HELP $name .+"; then
+    echo "metrics-lint: $name: missing or empty # HELP on the exposition"
+    fail=1
+  fi
+  if ! echo "$dump" | grep -qE "^# TYPE $name (counter|gauge|histogram)\$"; then
+    echo "metrics-lint: $name: missing # TYPE (counter|gauge|histogram)"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "metrics-lint: FAILED (HELP/TYPE coverage)"
+  exit 1
+fi
+echo "metrics-lint: $total series carry HELP and TYPE on the exposition"

@@ -11,6 +11,13 @@
 #   6. hard-kill (SIGKILL) after another insert and restart again: the
 #      second object must be recovered from the WAL alone
 #
+# Every leg also runs a quasii-explore -live probe: it blocks on /readyz
+# (failing the run if the server claims readiness that never arrives or
+# serves traffic before restore completes), then strictly decodes /stats,
+# /debug/heat and /debug/index — any malformed or schema-drifted JSON is
+# fatal. The probes' text reports accumulate in $HEAT_REPORT and the
+# tile×depth grids in $HEAT_CSV (CI uploads both as artifacts).
+#
 # Run from the repository root. Exits non-zero on any failure.
 set -eu
 
@@ -19,6 +26,8 @@ SEED=1
 ADDR=127.0.0.1:18080
 BASE=http://$ADDR
 DIR=$(mktemp -d)
+HEAT_REPORT=${HEAT_REPORT:-$DIR/heat-report.txt}
+HEAT_CSV=${HEAT_CSV:-$DIR/heat-grid.csv}
 SRV_PID=
 cleanup() {
   [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
@@ -28,10 +37,11 @@ trap cleanup EXIT
 
 go build -o "$DIR/quasii-serve" ./cmd/quasii-serve
 go build -o "$DIR/quasii-loadgen" ./cmd/quasii-loadgen
+go build -o "$DIR/quasii-explore" ./cmd/quasii-explore
 
 start_server() {
   "$DIR/quasii-serve" -addr "$ADDR" -n $N -seed $SEED -data-dir "$DIR/data" \
-    -fsync always -checkpoint-every 0 &
+    -fsync always -checkpoint-every 0 -heat-sample 4 -log-format json &
   SRV_PID=$!
 }
 
@@ -43,6 +53,26 @@ wait_healthy() {
   echo "server did not become healthy"; exit 1
 }
 
+wait_ready() {
+  for _ in $(seq 1 200); do
+    if curl -fsS "$BASE/readyz" | grep -q '"ready":true'; then return 0; fi
+    sleep 0.1
+  done
+  echo "server did not become ready"; exit 1
+}
+
+live_probe() { # $1 = leg label
+  echo "---- live probe: $1" >>"$HEAT_REPORT"
+  "$DIR/quasii-explore" -live "$BASE" -samples 2 -interval 300ms \
+    -maxdepth 2 -top 4 -csv "$DIR/leg.csv" >>"$HEAT_REPORT" \
+    || { echo "live probe ($1) failed"; exit 1; }
+  # Fold this leg's grid into the combined CSV, tagged with the leg name.
+  if [ ! -s "$HEAT_CSV" ]; then
+    echo "leg,$(head -1 "$DIR/leg.csv")" >"$HEAT_CSV"
+  fi
+  tail -n +2 "$DIR/leg.csv" | sed "s/^/$1,/" >>"$HEAT_CSV"
+}
+
 query_has_id() { # $1 = id
   curl -fsS -d '{"min":[100,100,100],"max":[110,110,110]}' "$BASE/query" \
     | grep -q "$1"
@@ -51,12 +81,16 @@ query_has_id() { # $1 = id
 echo "== 1. bootstrap"
 start_server
 wait_healthy
+wait_ready
 
 echo "== 2. oracle validation against the fresh server"
 # The -oracle run also scrapes /metrics afterwards and fails on an
 # unparsable exposition or counters inconsistent with the traffic driven.
 "$DIR/quasii-loadgen" -addr "$BASE" -oracle -n $N -seed $SEED \
   -clients 4 -queries 300 -wait 10s
+
+echo "== 2a. introspection probe (fresh build, post-traffic heat)"
+live_probe fresh
 
 echo "== 2b. /metrics scrape"
 METRICS=$(curl -fsS "$BASE/metrics")
@@ -83,11 +117,15 @@ SRV_PID=
 echo "== 4. warm restart"
 start_server
 wait_healthy
+wait_ready
 
 echo "== 5. recovered state serves correctly"
 query_has_id 1073742000 || { echo "insert lost across graceful restart"; exit 1; }
 "$DIR/quasii-loadgen" -addr "$BASE" -oracle -n $N -seed $SEED \
   -clients 4 -queries 300 -wait 10s
+
+echo "== 5a. introspection probe (warm restart)"
+live_probe warm-restart
 
 echo "== 6. insert + SIGKILL (WAL-only recovery)"
 curl -fsS -d '{"objects":[{"id":1073742001,"min":[104,104,104],"max":[106,106,106]}]}' \
@@ -97,10 +135,14 @@ wait "$SRV_PID" 2>/dev/null || true
 SRV_PID=
 start_server
 wait_healthy
+wait_ready
 query_has_id 1073742001 || { echo "insert lost across hard kill (WAL replay failed)"; exit 1; }
 query_has_id 1073742000 || { echo "earlier insert lost across hard kill"; exit 1; }
+
+echo "== 6a. introspection probe (WAL recovery)"
+live_probe wal-recovery
 
 kill -TERM "$SRV_PID"
 wait "$SRV_PID" || true
 SRV_PID=
-echo "persistence smoke passed"
+echo "persistence smoke passed (heat report: $HEAT_REPORT, grid: $HEAT_CSV)"
