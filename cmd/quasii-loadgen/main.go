@@ -32,12 +32,24 @@
 // a script can restart a durable quasii-serve (which replays its WAL before
 // listening) and immediately relaunch the generator — the kill-restart
 // oracle validation flow of scripts/persistence-smoke.sh.
+//
+// -chaos "CMD ARGS..." switches to chaos mode: the generator launches the
+// server itself from the given argv (whitespace-split, no shell quoting),
+// then SIGKILLs and restarts it -chaos-kills times at -chaos-interval
+// spacing while the load runs. Transport errors are retried like 429s —
+// clients must ride out every restart window — and any error, mismatch or
+// failed recovery makes the run exit non-zero. The command must point the
+// server at a durable -data-dir, or the kills genuinely destroy state and
+// the oracle reports it. Server counters reset across restarts, so the
+// /metrics cross-check validates series presence and shape only.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	quasii "repro"
 	"repro/internal/bench"
@@ -71,6 +83,12 @@ func main() {
 	wait := flag.Duration("wait", 0,
 		"poll the server's /healthz for up to this long before starting "+
 			"(lets a script restart quasii-serve and the load generator back to back)")
+	chaosCmd := flag.String("chaos", "",
+		"chaos mode: launch the server from this command line (whitespace-split), "+
+			"then SIGKILL and restart it mid-load; implies transport-error retries")
+	chaosKills := flag.Int("chaos-kills", 3, "kill/restart cycles in -chaos mode")
+	chaosInterval := flag.Duration("chaos-interval", 2*time.Second,
+		"dwell between a recovered restart and the next kill in -chaos mode")
 	flag.Parse()
 
 	// The dataset is only materialized when something needs it: the oracle,
@@ -125,18 +143,63 @@ func main() {
 
 	fmt.Printf("quasii-loadgen: %d %s queries (sel %g) against %s, %d readers, %d writers, write-every %d, oracle %v\n",
 		len(boxes), *workloadName, *selectivity, *addr, nClients, *writers, *writeEvery, *oracle)
-	res := bench.RunLoadgen(cfg)
-	bench.PrintLoadgen(os.Stdout, res)
-	failed := res.Mismatches > 0 || res.Errors > 0
-	if *oracle || *checkMetrics {
-		// The oracle run also validates the server's observability: scrape
-		// /metrics, require it to parse strictly, and cross-check the
-		// server-side request accounting against the client-side counters.
-		rep, err := bench.ScrapeMetrics(nil, *addr, res)
+	// The oracle run also validates the server's observability: scrape
+	// /metrics, require it to parse strictly, and cross-check the
+	// server-side request accounting against the client-side counters.
+	// Chaos restarts reset the server's counters mid-run, so the traffic
+	// cross-check is skipped there (series presence, shape, and the
+	// failure-model gauges are still validated) — and the scrape runs
+	// inside the chaos harness, while it still owns a live server.
+	var res *bench.LoadgenResult
+	var rep *bench.MetricsReport
+	var scrapeErr error
+	scrape := func(check *bench.LoadgenResult) {
+		if *oracle || *checkMetrics {
+			rep, scrapeErr = bench.ScrapeMetrics(nil, *addr, check)
+		}
+	}
+	failed := false
+	if *chaosCmd != "" {
+		// Chaos mode: own the server process, crash it mid-load, and make
+		// the clients absorb every restart window.
+		cfg.RetryTransport = true
+		if cfg.WaitReady <= 0 {
+			cfg.WaitReady = 30 * time.Second
+		}
+		cres, err := bench.RunChaos(bench.ChaosConfig{
+			Command:   strings.Fields(*chaosCmd),
+			BaseURL:   *addr,
+			Kills:     *chaosKills,
+			Interval:  *chaosInterval,
+			ServerOut: os.Stderr,
+		}, func() {
+			res = bench.RunLoadgen(cfg)
+			scrape(nil)
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "quasii-loadgen: %v\n", err)
-			os.Exit(1)
+			failed = true
 		}
+		if cres != nil {
+			bench.PrintChaos(os.Stdout, cres)
+			if cres.Restarts < cres.Kills {
+				failed = true
+			}
+		}
+	} else {
+		res = bench.RunLoadgen(cfg)
+		scrape(res)
+	}
+	if res == nil {
+		os.Exit(1)
+	}
+	bench.PrintLoadgen(os.Stdout, res)
+	failed = failed || res.Mismatches > 0 || res.Errors > 0
+	if scrapeErr != nil {
+		fmt.Fprintf(os.Stderr, "quasii-loadgen: %v\n", scrapeErr)
+		failed = true
+	}
+	if rep != nil {
 		bench.PrintMetricsReport(os.Stdout, rep)
 		if len(rep.Problems) > 0 {
 			failed = true

@@ -1,0 +1,176 @@
+// Chaos harness: repeatedly hard-kill (SIGKILL) and restart a server
+// process while a load-generation run is in flight. Each kill simulates a
+// machine-level crash — no graceful shutdown, no final snapshot — so the
+// restart exercises the full durable-recovery path (snapshot restore + WAL
+// replay) under live traffic, and the loadgen clients, running with
+// RetryTransport, must ride out every restart window without errors or
+// oracle mismatches. This is the process-level complement to the in-process
+// crash-point sweep in internal/durable.
+
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// ChaosConfig parameterizes one chaos run.
+type ChaosConfig struct {
+	// Command is the server command line, argv-style (no shell expansion);
+	// the same command is re-executed for every restart, so it must point
+	// at a durable data dir for state to survive.
+	Command []string
+	// BaseURL is polled on /healthz after each (re)start.
+	BaseURL string
+	// Kills is the number of kill→restart cycles (min 1).
+	Kills int
+	// Interval is the dwell time between a healthy restart and the next
+	// kill — the window in which the freshly recovered server serves load.
+	// 0 selects 2s.
+	Interval time.Duration
+	// WaitReady bounds each post-start health poll. 0 selects 30s. A
+	// restart that never turns healthy aborts the kill loop and fails the
+	// run.
+	WaitReady time.Duration
+	// ServerOut receives the server's stdout+stderr (nil discards).
+	ServerOut io.Writer
+	// Client overrides the health-poll HTTP client.
+	Client *http.Client
+}
+
+// ChaosResult aggregates one chaos run.
+type ChaosResult struct {
+	Kills    int           // SIGKILLs delivered
+	Restarts int           // restarts that reached healthy again
+	Downtime time.Duration // summed kill→healthy windows
+}
+
+// chaosHarness owns the victim process between restarts. Only the kill
+// loop goroutine touches cmd after start, so no locking is needed until
+// stop — which runs strictly after the loop has exited.
+type chaosHarness struct {
+	cfg    ChaosConfig
+	client *http.Client
+	cmd    *exec.Cmd
+	res    ChaosResult
+	err    error
+}
+
+// RunChaos starts the server, waits for it to become healthy, runs the
+// kill→restart loop concurrently with during (typically a RunLoadgen
+// call), and tears the server down afterwards. The loop stops early when
+// during returns first; an in-progress cycle always completes its restart,
+// so during never observes a permanently dead server. The returned error
+// covers process-management failures (spawn failed, restart never turned
+// healthy); load-side failures stay in during's own result.
+func RunChaos(cfg ChaosConfig, during func()) (*ChaosResult, error) {
+	if len(cfg.Command) == 0 {
+		return nil, fmt.Errorf("chaos: empty server command")
+	}
+	if cfg.Kills < 1 {
+		cfg.Kills = 1
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.WaitReady <= 0 {
+		cfg.WaitReady = 30 * time.Second
+	}
+	c := &chaosHarness{cfg: cfg, client: cfg.Client}
+	if c.client == nil {
+		c.client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if err := c.start(); err != nil {
+		return nil, fmt.Errorf("chaos: starting server: %w", err)
+	}
+	defer c.stop()
+	if !waitHealthy(c.client, cfg.BaseURL, cfg.WaitReady) {
+		return nil, fmt.Errorf("chaos: server never became healthy at %s", cfg.BaseURL)
+	}
+
+	halt := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.loop(halt)
+	}()
+	during()
+	close(halt)
+	<-done
+	return &c.res, c.err
+}
+
+// start spawns a fresh server process over the configured command.
+func (c *chaosHarness) start() error {
+	cmd := exec.Command(c.cfg.Command[0], c.cfg.Command[1:]...)
+	out := c.cfg.ServerOut
+	if out == nil {
+		out = io.Discard
+	}
+	cmd.Stdout, cmd.Stderr = out, out
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	c.cmd = cmd
+	return nil
+}
+
+// loop delivers the kill→restart cycles until the budget is spent or halt
+// closes. Each cycle: dwell, SIGKILL, reap, restart, poll healthy.
+func (c *chaosHarness) loop(halt <-chan struct{}) {
+	timer := time.NewTimer(c.cfg.Interval)
+	defer timer.Stop()
+	for i := 0; i < c.cfg.Kills; i++ {
+		timer.Reset(c.cfg.Interval)
+		select {
+		case <-halt:
+			return
+		case <-timer.C:
+		}
+		t0 := time.Now()
+		c.cmd.Process.Kill()
+		c.cmd.Wait() // SIGKILL makes this error by design
+		c.res.Kills++
+		if err := c.start(); err != nil {
+			c.err = fmt.Errorf("chaos: restart %d: %w", i+1, err)
+			return
+		}
+		if !waitHealthy(c.client, c.cfg.BaseURL, c.cfg.WaitReady) {
+			c.err = fmt.Errorf("chaos: restart %d never became healthy (WAL recovery stuck?)", i+1)
+			return
+		}
+		c.res.Restarts++
+		c.res.Downtime += time.Since(t0)
+	}
+}
+
+// stop terminates the surviving server: SIGTERM for a graceful exit (a
+// durable server writes its final snapshot), escalating to SIGKILL after
+// 10s.
+func (c *chaosHarness) stop() {
+	if c.cmd == nil || c.cmd.Process == nil {
+		return
+	}
+	c.cmd.Process.Signal(syscall.SIGTERM)
+	waited := make(chan struct{})
+	go func() {
+		c.cmd.Wait()
+		close(waited)
+	}()
+	select {
+	case <-waited:
+	case <-time.After(10 * time.Second):
+		c.cmd.Process.Kill()
+		<-waited
+	}
+}
+
+// PrintChaos writes the chaos-side run summary.
+func PrintChaos(w io.Writer, r *ChaosResult) {
+	fmt.Fprintf(w, "chaos: %d kills, %d recovered restarts, %v total downtime\n",
+		r.Kills, r.Restarts, r.Downtime.Round(time.Millisecond))
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// TestLoadgenAbsorbs503RetryAfter: a handler shedding its first requests
+// with 503 + Retry-After must be absorbed by the retry loop — mirroring the
+// 429 path — and the run must still complete without errors.
+func TestLoadgenAbsorbs503RetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 3 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"degraded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(server.QueryResponse{})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	res := RunLoadgen(LoadgenConfig{
+		BaseURL: ts.URL,
+		Clients: 1,
+		Queries: workload.Uniform(dataset.Universe(), 10, 1e-3, 29),
+	})
+	if res.Errors != 0 {
+		t.Fatalf("%d errors; 503s must be retried, not failed", res.Errors)
+	}
+	if res.Queries != 10 {
+		t.Fatalf("completed %d/10 queries", res.Queries)
+	}
+	if res.Unavailable != 3 {
+		t.Fatalf("Unavailable = %d, want 3", res.Unavailable)
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("Rejected = %d; 503s must not count as 429s", res.Rejected)
+	}
+}
+
+// TestLoadgen503RetriesExhaust: a permanently degraded endpoint must fail
+// the request after the retry budget, not spin forever.
+func TestLoadgen503RetriesExhaust(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, `{"error":"degraded"}`, http.StatusServiceUnavailable)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	res := RunLoadgen(LoadgenConfig{
+		BaseURL:    ts.URL,
+		Clients:    1,
+		Queries:    workload.Uniform(dataset.Universe(), 2, 1e-3, 31),
+		MaxRetries: 3,
+	})
+	if res.Errors != 2 {
+		t.Fatalf("Errors = %d, want 2 (one per query after exhausting retries)", res.Errors)
+	}
+	if res.Queries != 0 {
+		t.Fatalf("completed %d queries against an always-503 server", res.Queries)
+	}
+}
+
+// flakyTransport fails the first n round trips with a transport error, then
+// delegates — the shape of a connection refused during a restart window.
+type flakyTransport struct {
+	fails atomic.Int64
+	base  http.RoundTripper
+}
+
+func (ft *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if ft.fails.Add(-1) >= 0 {
+		return nil, fmt.Errorf("injected: connection refused")
+	}
+	return ft.base.RoundTrip(r)
+}
+
+// TestLoadgenRetryTransport: with RetryTransport (chaos mode) transport
+// errors are absorbed with backoff; without it they fail the request.
+func TestLoadgenRetryTransport(t *testing.T) {
+	ts, _ := startServer(t, 1000, server.Config{BatchWindow: -1})
+	queries := workload.Uniform(dataset.Universe(), 5, 1e-3, 37)
+
+	ft := &flakyTransport{base: http.DefaultTransport}
+	ft.fails.Store(4)
+	res := RunLoadgen(LoadgenConfig{
+		BaseURL:        ts.URL,
+		Clients:        1,
+		Queries:        queries,
+		RetryTransport: true,
+		Client:         &http.Client{Transport: ft},
+	})
+	if res.Errors != 0 {
+		t.Fatalf("%d errors with RetryTransport", res.Errors)
+	}
+	if res.Queries != 5 {
+		t.Fatalf("completed %d/5 queries", res.Queries)
+	}
+	if res.Transport != 4 {
+		t.Fatalf("Transport = %d, want 4", res.Transport)
+	}
+
+	ft.fails.Store(1)
+	res = RunLoadgen(LoadgenConfig{
+		BaseURL: ts.URL,
+		Clients: 1,
+		Queries: queries[:1],
+		Client:  &http.Client{Transport: ft},
+	})
+	if res.Errors != 1 || res.Transport != 0 {
+		t.Fatalf("without RetryTransport: errors=%d transport=%d, want 1/0",
+			res.Errors, res.Transport)
+	}
+}
+
+// TestRunChaosKillsAndRestarts drives the harness against a trivial victim
+// process (sleep) and a stub health endpoint: every budgeted kill must be
+// delivered and every restart must be counted as recovered.
+func TestRunChaosKillsAndRestarts(t *testing.T) {
+	if _, err := exec.LookPath("sleep"); err != nil {
+		t.Skip("no sleep binary on PATH")
+	}
+	health := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer health.Close()
+
+	res, err := RunChaos(ChaosConfig{
+		Command:   []string{"sleep", "60"},
+		BaseURL:   health.URL,
+		Kills:     2,
+		Interval:  10 * time.Millisecond,
+		WaitReady: 2 * time.Second,
+	}, func() { time.Sleep(500 * time.Millisecond) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kills != 2 || res.Restarts != 2 {
+		t.Fatalf("kills=%d restarts=%d, want 2/2", res.Kills, res.Restarts)
+	}
+	var sb strings.Builder
+	PrintChaos(&sb, res)
+	if !strings.Contains(sb.String(), "2 kills") {
+		t.Fatalf("PrintChaos output: %q", sb.String())
+	}
+}
+
+// TestRunChaosHaltsEarly: when the load finishes before the kill budget is
+// spent, the loop must stop — and never leave the server mid-restart.
+func TestRunChaosHaltsEarly(t *testing.T) {
+	if _, err := exec.LookPath("sleep"); err != nil {
+		t.Skip("no sleep binary on PATH")
+	}
+	health := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer health.Close()
+
+	res, err := RunChaos(ChaosConfig{
+		Command:   []string{"sleep", "60"},
+		BaseURL:   health.URL,
+		Kills:     1000,
+		Interval:  time.Hour,
+		WaitReady: 2 * time.Second,
+	}, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kills != 0 {
+		t.Fatalf("kills=%d, want 0 (halted before the first interval)", res.Kills)
+	}
+}
+
+// TestRunChaosBadCommand: an unstartable server is an error, not a hang.
+func TestRunChaosBadCommand(t *testing.T) {
+	if _, err := RunChaos(ChaosConfig{
+		Command: []string{"/nonexistent-quasii-serve"},
+		BaseURL: "http://127.0.0.1:0",
+	}, func() {}); err == nil {
+		t.Fatal("RunChaos started a nonexistent binary")
+	}
+	if _, err := RunChaos(ChaosConfig{BaseURL: "http://127.0.0.1:0"}, func() {}); err == nil {
+		t.Fatal("RunChaos accepted an empty command")
+	}
+}

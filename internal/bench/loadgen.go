@@ -2,8 +2,9 @@
 // The driver is shared by cmd/quasii-loadgen and the benchmarks: a pool of
 // client goroutines drains a query workload over HTTP, optionally mixes in
 // insert/delete cycles, validates every response against a local oracle,
-// and retries 429 backpressure rejections with exponential backoff — the
-// well-behaved-client half of the admission-control story.
+// and retries 429 backpressure rejections — and 503 degraded-mode
+// rejections, honoring Retry-After — with exponential backoff: the
+// well-behaved-client half of the admission-control and failure stories.
 
 package bench
 
@@ -14,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,8 +54,15 @@ type LoadgenConfig struct {
 	// end over HTTP. Writers stop when the readers drain the workload.
 	// 0 disables.
 	Writers int
-	// MaxRetries bounds the 429 retries per request. 0 selects 100.
+	// MaxRetries bounds the retries per request (429, 503 and — with
+	// RetryTransport — transport errors share the budget). 0 selects 100.
 	MaxRetries int
+	// RetryTransport also retries transport errors (connection refused,
+	// reset) with the same backoff. Off by default — against a stable
+	// server a refused connection is a real failure — and switched on by
+	// the chaos mode, where the server is deliberately killed mid-run and
+	// every client must ride out the restart window.
+	RetryTransport bool
 	// WaitReady, when positive, polls the server's /healthz for up to that
 	// long before the run starts, so a driver script can launch (or
 	// restart) quasii-serve and the load generator back to back — the
@@ -73,6 +82,8 @@ type LoadgenResult struct {
 	Writes       int             // insert→delete cycles completed by readers (WriteEvery)
 	WriterCycles int             // insert→delete cycles completed by dedicated writers
 	Rejected     int64           // 429 responses absorbed by retry
+	Unavailable  int64           // 503 responses absorbed by retry (degraded store, restarts)
+	Transport    int64           // transport errors absorbed by retry (RetryTransport)
 	Errors       int64           // non-retryable failures (transport, 5xx, retries exhausted)
 	Mismatches   int64           // oracle disagreements
 	Wall         time.Duration   // wall clock for the whole run
@@ -88,16 +99,35 @@ func (r *LoadgenResult) QPS() float64 {
 }
 
 // loadgenClient wraps the per-request mechanics: JSON round-trip plus
-// bounded-backoff retry on 429.
+// bounded-backoff retry on 429, 503 and (in chaos mode) transport errors.
 type loadgenClient struct {
-	cfg      *LoadgenConfig
-	client   *http.Client
-	rejected *atomic.Int64
-	errors   *atomic.Int64
+	cfg         *LoadgenConfig
+	client      *http.Client
+	rejected    *atomic.Int64
+	unavailable *atomic.Int64
+	transport   *atomic.Int64
+	errors      *atomic.Int64
 }
 
-// post sends body and decodes the 200 answer into out, retrying 429s with
-// exponential backoff (1ms doubling, capped at 50ms). It reports success.
+// retryAfter reads the response's Retry-After header as whole seconds,
+// capped at one second so a degraded server's hint cannot stall a client
+// goroutine for longer than a restart typically takes. 0 when absent or
+// unparsable (the HTTP-date form is not worth supporting here).
+func retryAfter(resp *http.Response) time.Duration {
+	s, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || s <= 0 {
+		return 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return time.Duration(s) * time.Second
+}
+
+// post sends body and decodes the 200 answer into out, retrying 429
+// (backpressure) and 503 (degraded store, mid-restart) with exponential
+// backoff (1ms doubling, capped at 50ms); a 503's Retry-After hint
+// overrides the backoff when longer. It reports success.
 func (lc *loadgenClient) post(path string, body, out interface{}) bool {
 	buf, err := json.Marshal(body)
 	if err != nil {
@@ -112,18 +142,37 @@ func (lc *loadgenClient) post(path string, body, out interface{}) bool {
 	for attempt := 0; ; attempt++ {
 		resp, err := lc.client.Post(lc.cfg.BaseURL+path, "application/json", bytes.NewReader(buf))
 		if err != nil {
+			// Chaos mode: the server may be down for a restart window, so a
+			// refused connection is expected traffic weather, not a failure.
+			if lc.cfg.RetryTransport && attempt < maxRetries {
+				lc.transport.Add(1)
+				time.Sleep(backoff)
+				if backoff < 50*time.Millisecond {
+					backoff *= 2
+				}
+				continue
+			}
 			lc.errors.Add(1)
 			return false
 		}
-		if resp.StatusCode == http.StatusTooManyRequests {
+		if resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable {
+			wait := backoff
+			if resp.StatusCode == http.StatusTooManyRequests {
+				lc.rejected.Add(1)
+			} else {
+				lc.unavailable.Add(1)
+				if ra := retryAfter(resp); ra > wait {
+					wait = ra
+				}
+			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			lc.rejected.Add(1)
 			if attempt >= maxRetries {
 				lc.errors.Add(1)
 				return false
 			}
-			time.Sleep(backoff)
+			time.Sleep(wait)
 			if backoff < 50*time.Millisecond {
 				backoff *= 2
 			}
@@ -166,7 +215,11 @@ func RunLoadgen(cfg LoadgenConfig) *LoadgenResult {
 		waitHealthy(httpClient, cfg.BaseURL, cfg.WaitReady)
 	}
 	res := &LoadgenResult{Clients: clients, Writers: cfg.Writers}
-	var queriesOK, writesOK, writerCycles, rejected, errors, mismatches atomic.Int64
+	var queriesOK, writesOK, writerCycles, rejected, unavailable, transport, errors, mismatches atomic.Int64
+	newClient := func() *loadgenClient {
+		return &loadgenClient{cfg: &cfg, client: httpClient, rejected: &rejected,
+			unavailable: &unavailable, transport: &transport, errors: &errors}
+	}
 	perClient := make([][]time.Duration, clients)
 	// Per-run nonce for write IDs: a run that dies between insert and
 	// delete leaves its object on a long-lived server, and a later run
@@ -188,7 +241,7 @@ func RunLoadgen(cfg LoadgenConfig) *LoadgenResult {
 		wwg.Add(1)
 		go func(w int) {
 			defer wwg.Done()
-			lc := &loadgenClient{cfg: &cfg, client: httpClient, rejected: &rejected, errors: &errors}
+			lc := newClient()
 			base := nonce + int32(len(cfg.Queries)) + int32(w)*10_000_000
 			for i := 0; ; i++ {
 				select {
@@ -207,7 +260,7 @@ func RunLoadgen(cfg LoadgenConfig) *LoadgenResult {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			lc := &loadgenClient{cfg: &cfg, client: httpClient, rejected: &rejected, errors: &errors}
+			lc := newClient()
 			lats := make([]time.Duration, 0, len(cfg.Queries)/clients+1)
 			for {
 				qi := int(next.Add(1)) - 1
@@ -245,6 +298,8 @@ func RunLoadgen(cfg LoadgenConfig) *LoadgenResult {
 	res.Writes = int(writesOK.Load())
 	res.WriterCycles = int(writerCycles.Load())
 	res.Rejected = rejected.Load()
+	res.Unavailable = unavailable.Load()
+	res.Transport = transport.Load()
 	res.Errors = errors.Load()
 	res.Mismatches = mismatches.Load()
 	return res
@@ -290,9 +345,9 @@ func (lc *loadgenClient) writeCycle(q geom.Box, id int32, oracle func(geom.Box) 
 }
 
 // waitHealthy polls GET /healthz until it answers 200 or the deadline
-// passes. Transport errors (server not yet listening) are expected and
-// retried; they are what the wait exists to absorb.
-func waitHealthy(client *http.Client, baseURL string, timeout time.Duration) {
+// passes, reporting which. Transport errors (server not yet listening) are
+// expected and retried; they are what the wait exists to absorb.
+func waitHealthy(client *http.Client, baseURL string, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
 		resp, err := client.Get(baseURL + "/healthz")
@@ -300,11 +355,11 @@ func waitHealthy(client *http.Client, baseURL string, timeout time.Duration) {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
-				return
+				return true
 			}
 		}
 		if time.Now().After(deadline) {
-			return
+			return false
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
@@ -355,6 +410,9 @@ func PrintLoadgen(w io.Writer, r *LoadgenResult) {
 		stats.Mean(r.Latencies), stats.Percentile(r.Latencies, 50),
 		stats.Percentile(r.Latencies, 95), stats.Percentile(r.Latencies, 99),
 		stats.Max(r.Latencies))
-	fmt.Fprintf(w, "backpressure: %d rejections absorbed; %d errors, %d oracle mismatches\n",
-		r.Rejected, r.Errors, r.Mismatches)
+	fmt.Fprintf(w, "backpressure: %d rejections (429) and %d unavailable (503) absorbed; %d errors, %d oracle mismatches\n",
+		r.Rejected, r.Unavailable, r.Errors, r.Mismatches)
+	if r.Transport > 0 {
+		fmt.Fprintf(w, "chaos: %d transport errors absorbed across restart windows\n", r.Transport)
+	}
 }

@@ -28,6 +28,17 @@ type MetricsReport struct {
 	// (quasii_core_slices_refined_total, quasii_core_shared_ratio).
 	SlicesRefined float64
 	SharedRatio   float64
+	// DurableChecked is true when the target runs a durable store (the
+	// quasii_durable_degraded gauge is on the scrape); the failure-model
+	// series below are then required and cross-checked.
+	DurableChecked bool
+	// Degraded is quasii_durable_degraded: 1 while the store is in
+	// read-only degraded mode, 0 otherwise (any other value is a Problem).
+	Degraded float64
+	// WALRetries is quasii_wal_retry_total, FaultsInjected is
+	// quasii_fault_injected_total (0 on a real filesystem).
+	WALRetries     float64
+	FaultsInjected float64
 	// Problems lists cross-check violations; empty means consistent.
 	Problems []string
 }
@@ -83,6 +94,24 @@ func ScrapeMetrics(client *http.Client, baseURL string, res *LoadgenResult) (*Me
 		r.Problems = append(r.Problems, "quasii_core_shared_ratio missing")
 	}
 
+	// Failure-model series: present iff the server runs a durable store.
+	// The degraded gauge is the sentinel; once it is there, the retry and
+	// fault-injection counters must be too — a chaos or fault-injection run
+	// that cannot observe them is not validating what it thinks it is.
+	if r.Degraded, ok = sc.Value("quasii_durable_degraded", nil); ok {
+		r.DurableChecked = true
+		if r.Degraded != 0 && r.Degraded != 1 {
+			r.Problems = append(r.Problems, fmt.Sprintf(
+				"quasii_durable_degraded = %g, want 0 or 1", r.Degraded))
+		}
+		if r.WALRetries, ok = sc.Value("quasii_wal_retry_total", nil); !ok {
+			r.Problems = append(r.Problems, "quasii_wal_retry_total missing from durable server")
+		}
+		if r.FaultsInjected, ok = sc.Value("quasii_fault_injected_total", nil); !ok {
+			r.Problems = append(r.Problems, "quasii_fault_injected_total missing from durable server")
+		}
+	}
+
 	// Cross-checks against the client-side counters. The server counts every
 	// /query request it saw, so its total must cover at least the queries the
 	// client got 200s for (retries and other runs only push it higher).
@@ -114,6 +143,10 @@ func PrintMetricsReport(w io.Writer, r *MetricsReport) {
 		r.ServerP95.Round(time.Microsecond), r.ServerP99.Round(time.Microsecond))
 	fmt.Fprintf(w, "convergence: %.0f slices refined, shared-path ratio %.3f\n",
 		r.SlicesRefined, r.SharedRatio)
+	if r.DurableChecked {
+		fmt.Fprintf(w, "durable: degraded %.0f, %.0f WAL retries, %.0f faults injected\n",
+			r.Degraded, r.WALRetries, r.FaultsInjected)
+	}
 	for _, p := range r.Problems {
 		fmt.Fprintf(w, "metrics cross-check FAILED: %s\n", p)
 	}

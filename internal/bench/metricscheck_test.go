@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// scrapeFixture serves a canned /metrics exposition and runs ScrapeMetrics
+// against it with no client-side result (presence/shape checks only).
+func scrapeFixture(t *testing.T, body string) *MetricsReport {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(body))
+	}))
+	defer ts.Close()
+	rep, err := ScrapeMetrics(nil, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func hasProblem(rep *MetricsReport, substr string) bool {
+	for _, p := range rep.Problems {
+		if strings.Contains(p, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// durableFixture is the failure-model slice of a durable server's scrape;
+// the serving/convergence series are deliberately absent (their missing-
+// series problems are ignored by these tests, which assert on the durable
+// checks alone).
+const durableFixture = `# HELP quasii_durable_degraded Degraded read-only mode.
+# TYPE quasii_durable_degraded gauge
+quasii_durable_degraded %s
+# HELP quasii_wal_retry_total Retried WAL appends.
+# TYPE quasii_wal_retry_total counter
+quasii_wal_retry_total 4
+# HELP quasii_fault_injected_total Injected faults.
+# TYPE quasii_fault_injected_total counter
+quasii_fault_injected_total 7
+`
+
+func TestScrapeMetricsDurableSeries(t *testing.T) {
+	rep := scrapeFixture(t, strings.Replace(durableFixture, "%s", "1", 1))
+	if !rep.DurableChecked {
+		t.Fatal("durable series present but DurableChecked is false")
+	}
+	if rep.Degraded != 1 || rep.WALRetries != 4 || rep.FaultsInjected != 7 {
+		t.Fatalf("degraded=%g retries=%g faults=%g, want 1/4/7",
+			rep.Degraded, rep.WALRetries, rep.FaultsInjected)
+	}
+	if hasProblem(rep, "durable") || hasProblem(rep, "quasii_durable_degraded") {
+		t.Fatalf("unexpected durable problems: %v", rep.Problems)
+	}
+}
+
+func TestScrapeMetricsDurableDegradedDomain(t *testing.T) {
+	rep := scrapeFixture(t, strings.Replace(durableFixture, "%s", "0.5", 1))
+	if !hasProblem(rep, "want 0 or 1") {
+		t.Fatalf("degraded=0.5 not flagged: %v", rep.Problems)
+	}
+}
+
+func TestScrapeMetricsDurableSeriesMissing(t *testing.T) {
+	// The sentinel gauge alone: the retry and fault counters must be
+	// reported missing.
+	rep := scrapeFixture(t, "quasii_durable_degraded 0\n")
+	if !hasProblem(rep, "quasii_wal_retry_total missing") ||
+		!hasProblem(rep, "quasii_fault_injected_total missing") {
+		t.Fatalf("missing durable counters not flagged: %v", rep.Problems)
+	}
+}
+
+func TestScrapeMetricsNonDurableSkipsDurableChecks(t *testing.T) {
+	rep := scrapeFixture(t, "quasii_core_shared_ratio 0.5\n")
+	if rep.DurableChecked {
+		t.Fatal("DurableChecked true without quasii_durable_degraded")
+	}
+	if hasProblem(rep, "durable server") {
+		t.Fatalf("durable problems on a non-durable scrape: %v", rep.Problems)
+	}
+}

@@ -45,7 +45,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/geom"
+	"repro/internal/ioerr"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/wal"
@@ -88,6 +90,22 @@ type Options struct {
 	// provenance, checkpoint rotations, and background checkpoint failures
 	// (which have no caller to return an error to). Nil discards them.
 	Logger *slog.Logger
+	// FS is the file system the WAL and snapshot writers run on. Nil
+	// selects the real one (faultfs.OS); tests and the chaos harness
+	// install a faultfs.FaultFS to inject fsync errors, ENOSPC, torn
+	// writes, and crash points at every write/rename/sync site.
+	FS faultfs.FS
+	// AppendRetries bounds how many times a transiently-failed WAL append
+	// (ENOSPC, EAGAIN, EINTR) is retried before the store gives up and
+	// enters degraded mode. 0 selects 3; negative disables retries.
+	AppendRetries int
+	// RetryBackoff is the first retry's sleep; it doubles per attempt.
+	// 0 selects 5ms.
+	RetryBackoff time.Duration
+	// RecoverEvery is the cadence at which a degraded store probes the
+	// disk (by attempting a checkpoint to a fresh generation) to discover
+	// the fault has cleared. 0 selects 5s.
+	RecoverEvery time.Duration
 }
 
 // Store is a durable sharded index. Queries go straight to Index() — the
@@ -126,6 +144,20 @@ type Store struct {
 	syncStop  chan struct{}
 	syncGroup sync.WaitGroup
 
+	// fs is Options.FS or the real file system; never nil after Open.
+	fs faultfs.FS
+
+	// Degraded read-only mode: set when persistent I/O failure makes the
+	// WAL untrustworthy. Writes fail fast with ioerr.ErrDegraded (503 at
+	// the HTTP layer), reads keep flowing, and a background probe retries a
+	// checkpoint until the disk proves writable again. degradedReason holds
+	// a string; recGate keeps one probe loop per degraded episode.
+	degraded       atomic.Bool
+	degradedReason atomic.Value // string
+	recGate        atomic.Bool
+	recStop        chan struct{}
+	recGroup       sync.WaitGroup
+
 	// Checkpoint bookkeeping for DurabilityStats, maintained with or
 	// without a registry attached: completed checkpoints since Open and the
 	// duration of the latest one (nanoseconds).
@@ -149,6 +181,7 @@ type Store struct {
 	mCkpts        *telemetry.Counter
 	mCkptFailures *telemetry.Counter
 	mCkptDur      *telemetry.Histogram
+	mRetries      *telemetry.Counter
 }
 
 // ErrClosed is returned by update operations on a closed store.
@@ -168,17 +201,23 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.Shard.New != nil {
 		return nil, shard.ErrNotPersistable
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	s := &Store{dir: dir, opts: opts}
+	s.fs = opts.FS
+	if s.fs == nil {
+		s.fs = faultfs.OS{}
+	}
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, opts: opts}
+	s.degradedReason.Store("")
+	s.recStop = make(chan struct{})
 	s.logger = opts.Logger
 	if s.logger == nil {
 		s.logger = slog.New(slog.DiscardHandler)
 	}
 
 	start := time.Now()
-	seq, ok, err := readCurrent(dir)
+	seq, ok, err := readCurrent(s.fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +241,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		// One pass over the log: replay the intact records, truncate the
 		// torn tail, keep the handle open for appending.
 		var replayed int
-		s.log, replayed, err = wal.OpenReplay(filepath.Join(dir, walName(seq)), s.walPolicy(), s.applyRecord)
+		s.log, replayed, err = wal.OpenReplayFS(s.fs, filepath.Join(dir, walName(seq)), s.walPolicy(), s.applyRecord)
 		if err != nil {
 			return nil, fmt.Errorf("replaying wal %d: %w", seq, err)
 		}
@@ -309,44 +348,170 @@ func (s *Store) RecoveryInfo() (snapshotSeq uint64, walRecordsReplayed int64, bo
 }
 
 // Insert durably inserts objs: the operation is appended to the WAL (and
-// fsynced, per policy) before it is applied or acknowledged.
+// fsynced, per policy) before it is applied or acknowledged. While the
+// store is degraded it fails fast with ioerr.ErrDegraded; a fresh append
+// failure that survives the bounded retries enters degraded mode (the
+// operation is not applied — the index holds exactly the acknowledged
+// writes).
 func (s *Store) Insert(objs ...geom.Object) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	if s.degraded.Load() {
+		return ioerr.ErrDegraded
+	}
 	s.updMu.RLock()
 	s.opMu.Lock()
-	err := s.log.AppendInsert(objs)
-	if err == nil {
+	err := s.appendRetry(func() error { return s.log.AppendInsert(objs) })
+	logged := err == nil
+	if logged {
 		err = s.ix.Insert(objs...)
 	}
 	s.opMu.Unlock()
 	s.updMu.RUnlock()
 	if err == nil {
 		s.noteUpdate()
+		return nil
+	}
+	if !logged {
+		return s.degradeOn(err)
 	}
 	return err
 }
 
 // Delete durably deletes the object with the given ID (see shard.Delete for
-// the hint semantics), logging before applying.
+// the hint semantics), logging before applying. Degraded-mode and retry
+// semantics match Insert.
 func (s *Store) Delete(id int32, hint geom.Box) (bool, error) {
 	if s.closed.Load() {
 		return false, ErrClosed
 	}
+	if s.degraded.Load() {
+		return false, ioerr.ErrDegraded
+	}
 	s.updMu.RLock()
 	s.opMu.Lock()
-	err := s.log.AppendDelete(id, hint)
+	err := s.appendRetry(func() error { return s.log.AppendDelete(id, hint) })
+	logged := err == nil
 	var found bool
-	if err == nil {
+	if logged {
 		found, err = s.ix.Delete(id, hint)
 	}
 	s.opMu.Unlock()
 	s.updMu.RUnlock()
 	if err == nil {
 		s.noteUpdate()
+		return found, nil
+	}
+	if !logged {
+		return false, s.degradeOn(err)
 	}
 	return found, err
+}
+
+// appendRetry runs one WAL append, retrying transiently-classified
+// failures (ENOSPC, EAGAIN, EINTR — the append self-repaired, the file is
+// still trustworthy) with exponential backoff, at most Options.
+// AppendRetries times. Fatal failures (EIO, a failed fsync, a broken log)
+// return immediately: retrying against a file in unknown state is how
+// acknowledged writes get lost. Called with opMu held, so the backoff
+// sleeps stall only other writers, never reads.
+func (s *Store) appendRetry(append func() error) error {
+	err := append()
+	if err == nil {
+		return nil
+	}
+	retries := s.opts.AppendRetries
+	if retries == 0 {
+		retries = 3
+	}
+	backoff := s.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 5 * time.Millisecond
+	}
+	for i := 0; i < retries; i++ {
+		if ioerr.Classify(err) != ioerr.Transient || s.log.Broken() != nil {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		s.mRetries.Inc()
+		s.logger.Warn("retrying wal append after transient failure",
+			"attempt", i+1, "err", err)
+		if err = append(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// degradeOn flips the store into degraded read-only mode because of cause
+// (a WAL append failure that exhausted its retries, or a fatal I/O error)
+// and starts the background recovery probe. It returns the error update
+// callers should surface: ioerr.ErrDegraded wrapping the cause, so the
+// HTTP layer answers 503 + Retry-After for the triggering write exactly as
+// it will for every write until recovery.
+func (s *Store) degradeOn(cause error) error {
+	if s.degraded.CompareAndSwap(false, true) {
+		s.degradedReason.Store(cause.Error())
+		s.logger.Error("entering degraded read-only mode",
+			"cause", cause, "class", ioerr.Classify(cause).String())
+		s.startRecovery()
+	}
+	return fmt.Errorf("%w (cause: %w)", ioerr.ErrDegraded, cause)
+}
+
+// Degraded reports whether the store is in degraded read-only mode, and
+// the failure that put it there. The tuple form satisfies the serving
+// layer's probe interface without a type dependency.
+func (s *Store) Degraded() (bool, string) {
+	if !s.degraded.Load() {
+		return false, ""
+	}
+	reason, _ := s.degradedReason.Load().(string)
+	return true, reason
+}
+
+// startRecovery launches the degraded-mode probe loop (one per episode).
+func (s *Store) startRecovery() {
+	if !s.recGate.CompareAndSwap(false, true) {
+		return
+	}
+	every := s.opts.RecoverEvery
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	s.recGroup.Add(1)
+	go func() {
+		defer s.recGroup.Done()
+		defer s.recGate.Store(false)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.recStop:
+				return
+			case <-t.C:
+			}
+			if s.closed.Load() {
+				return
+			}
+			// A full checkpoint to a fresh generation is the recovery
+			// probe: it exercises every write site (snapshot files, a new
+			// WAL, the CURRENT rename, directory fsyncs) on fresh files,
+			// so its success proves the disk writable again — and leaves
+			// the store on a clean generation with an empty, trustworthy
+			// log. checkpointLocked clears the degraded flag on success.
+			if _, err := s.Checkpoint(); err != nil {
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				s.logger.Warn("degraded-mode recovery probe failed", "err", err)
+				continue
+			}
+			return
+		}
+	}()
 }
 
 // noteUpdate counts one accepted update and triggers the automatic
@@ -404,14 +569,21 @@ func (s *Store) checkpointLocked() (uint64, error) {
 	if oldLog != nil {
 		oldLog.Close()
 	}
-	os.RemoveAll(filepath.Join(s.dir, snapDirName(s.seq-1)))
-	os.Remove(filepath.Join(s.dir, walName(s.seq-1)))
+	s.fs.RemoveAll(filepath.Join(s.dir, snapDirName(s.seq-1)))
+	s.fs.Remove(filepath.Join(s.dir, walName(s.seq-1)))
 	s.updates.Store(0)
 	elapsed := time.Since(start)
 	s.ckptCount.Add(1)
 	s.ckptLastNS.Store(int64(elapsed))
 	s.mCkpts.Inc()
 	s.mCkptDur.ObserveDuration(elapsed)
+	if s.degraded.Swap(false) {
+		// The rotation just proved every write site good on fresh files:
+		// the store is durable again, writes may flow.
+		s.degradedReason.Store("")
+		s.logger.Info("degraded mode cleared by successful checkpoint",
+			"snapshot_seq", s.seq)
+	}
 	s.logger.Info("checkpoint complete",
 		"snapshot_seq", s.seq, "objects", s.ix.ApproxLen(),
 		"elapsed_ms", elapsed.Milliseconds())
@@ -429,35 +601,35 @@ func (s *Store) checkpointLocked() (uint64, error) {
 func (s *Store) rotateTo(newSeq uint64) error {
 	tmp := filepath.Join(s.dir, snapDirName(newSeq)+".tmp")
 	final := filepath.Join(s.dir, snapDirName(newSeq))
-	if err := os.RemoveAll(tmp); err != nil {
+	if err := s.fs.RemoveAll(tmp); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(tmp, 0o755); err != nil {
+	if err := s.fs.MkdirAll(tmp, 0o755); err != nil {
 		return err
 	}
-	if err := s.ix.Snapshot(tmp); err != nil {
-		os.RemoveAll(tmp)
+	if err := s.ix.SnapshotFS(tmp, s.fs); err != nil {
+		s.fs.RemoveAll(tmp)
 		return err
 	}
-	if err := os.RemoveAll(final); err != nil {
+	if err := s.fs.RemoveAll(final); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := s.fs.Rename(tmp, final); err != nil {
 		return err
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := s.fs.SyncDir(s.dir); err != nil {
 		return err
 	}
-	log, err := wal.Create(filepath.Join(s.dir, walName(newSeq)), s.walPolicy())
+	log, err := wal.CreateFS(s.fs, filepath.Join(s.dir, walName(newSeq)), s.walPolicy())
 	if err != nil {
 		return err
 	}
 	if s.walMetrics != nil {
 		log.SetMetrics(s.walMetrics)
 	}
-	if err := writeCurrent(s.dir, newSeq); err != nil {
+	if err := writeCurrent(s.fs, s.dir, newSeq); err != nil {
 		log.Close()
-		os.Remove(filepath.Join(s.dir, walName(newSeq)))
+		s.fs.Remove(filepath.Join(s.dir, walName(newSeq)))
 		return err
 	}
 	s.log = log
@@ -468,8 +640,6 @@ func (s *Store) rotateTo(newSeq uint64) error {
 // Close checkpoints (so restart needs no WAL replay) and releases the WAL.
 // The store must not be used afterwards.
 func (s *Store) Close() error {
-	s.ckptMu.Lock()
-	defer s.ckptMu.Unlock()
 	if s.closed.Swap(true) {
 		return ErrClosed
 	}
@@ -477,6 +647,13 @@ func (s *Store) Close() error {
 		close(s.syncStop)
 		s.syncGroup.Wait()
 	}
+	// Stop the degraded-mode probe before taking ckptMu: the probe may be
+	// mid-Checkpoint holding it, and waiting while holding it would
+	// deadlock.
+	close(s.recStop)
+	s.recGroup.Wait()
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	s.updMu.Lock()
 	defer s.updMu.Unlock()
 	if _, err := s.checkpointLocked(); err != nil {
@@ -511,8 +688,8 @@ func (s *Store) syncLoop(every time.Duration) {
 }
 
 // readCurrent parses CURRENT; ok == false means no snapshot exists yet.
-func readCurrent(dir string) (uint64, bool, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, currentName))
+func readCurrent(fsys faultfs.FS, dir string) (uint64, bool, error) {
+	raw, err := fsys.ReadFile(filepath.Join(dir, currentName))
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, false, nil
 	}
@@ -528,9 +705,9 @@ func readCurrent(dir string) (uint64, bool, error) {
 
 // writeCurrent atomically points CURRENT at seq: write a temp file, fsync,
 // rename over, fsync the directory.
-func writeCurrent(dir string, seq uint64) error {
+func writeCurrent(fsys faultfs.FS, dir string, seq uint64) error {
 	tmp := filepath.Join(dir, currentName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
@@ -545,21 +722,8 @@ func writeCurrent(dir string, seq uint64) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, currentName)); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, currentName)); err != nil {
 		return err
 	}
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so renames and creations inside it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return fsys.SyncDir(dir)
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/faultfs"
 	"repro/internal/geom"
 	"repro/internal/shard"
 	"repro/internal/workload"
@@ -242,7 +243,7 @@ func TestCloseThenReopenNeedsNoWAL(t *testing.T) {
 		t.Fatalf("Insert after Close: %v, want ErrClosed", err)
 	}
 
-	seq, ok, err := readCurrent(dir)
+	seq, ok, err := readCurrent(faultfs.OS{}, dir)
 	if err != nil || !ok {
 		t.Fatalf("CURRENT unreadable: ok=%v err=%v", ok, err)
 	}

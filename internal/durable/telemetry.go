@@ -7,6 +7,7 @@
 package durable
 
 import (
+	"repro/internal/faultfs"
 	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
@@ -33,6 +34,24 @@ func (s *Store) Instrument(reg *telemetry.Registry) {
 	reg.GaugeFunc("quasii_store_snapshot_seq",
 		"Sequence number of the live snapshot generation.",
 		func() float64 { return float64(s.Seq()) })
+	s.mRetries = reg.Counter("quasii_wal_retry_total",
+		"WAL appends retried after a transient failure (ENOSPC, EAGAIN, EINTR).")
+	reg.GaugeFunc("quasii_durable_degraded",
+		"1 while the store is in degraded read-only mode (writes 503, reads flow), 0 otherwise.",
+		func() float64 {
+			if d, _ := s.Degraded(); d {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("quasii_fault_injected_total",
+		"Faults injected by the fault-injection file system; 0 (and inert) when the store runs on the real one.",
+		func() float64 {
+			if ff, ok := s.fs.(*faultfs.FaultFS); ok {
+				return float64(ff.Injected())
+			}
+			return 0
+		})
 
 	m := &wal.Metrics{
 		Appends: reg.Counter("quasii_wal_appends_total",

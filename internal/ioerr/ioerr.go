@@ -1,0 +1,66 @@
+// Package ioerr classifies I/O errors for the durability stack and defines
+// the degraded-mode sentinel the HTTP layer maps onto 503.
+//
+// The classification follows the post-fsyncgate consensus on what a storage
+// engine may and may not assume about failed I/O:
+//
+//   - ENOSPC, EAGAIN and EINTR are transient: the operation failed cleanly,
+//     the file state is exactly what it was before, and retrying after
+//     backoff (an operator freeing disk space, a signal window passing) is
+//     sound.
+//   - A failed fsync is fatal, always. The kernel may have dropped the
+//     dirty pages that failed to reach the platter, so after one failed
+//     fsync the in-kernel view of the file can silently diverge from what a
+//     later successful fsync would imply was durable. The only sound
+//     response is to stop trusting the file and rebuild durability from a
+//     fresh one — which is what degraded mode's recovery-by-checkpoint
+//     does.
+//   - EIO and everything unrecognized are fatal: the bytes on disk are in
+//     an unknown state.
+//
+// This package sits below durable and beside server so both can agree on
+// error semantics without the HTTP layer importing the storage engine's
+// internals.
+package ioerr
+
+import (
+	"errors"
+	"syscall"
+)
+
+// ErrDegraded is returned by write operations while the store is in
+// degraded read-only mode. The HTTP layer maps it to 503 + Retry-After;
+// reads are unaffected.
+var ErrDegraded = errors.New("store degraded: persistent I/O failure, writes suspended")
+
+// Class is the retryability of a failed I/O operation.
+type Class int
+
+const (
+	// Transient failures left the file untouched; bounded retry with
+	// backoff is sound.
+	Transient Class = iota
+	// Fatal failures leave the file in an unknown state; the operation
+	// must not be retried against the same file.
+	Fatal
+)
+
+func (c Class) String() string {
+	if c == Transient {
+		return "transient"
+	}
+	return "fatal"
+}
+
+// Classify reports whether err is worth retrying. nil is not a valid input
+// (callers classify failures, not successes); it returns Fatal to be safe.
+func Classify(err error) Class {
+	switch {
+	case errors.Is(err, syscall.ENOSPC),
+		errors.Is(err, syscall.EAGAIN),
+		errors.Is(err, syscall.EINTR),
+		errors.Is(err, syscall.EDQUOT):
+		return Transient
+	}
+	return Fatal
+}

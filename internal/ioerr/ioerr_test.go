@@ -1,0 +1,40 @@
+package ioerr
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"syscall"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{syscall.ENOSPC, Transient},
+		{syscall.EAGAIN, Transient},
+		{syscall.EINTR, Transient},
+		{syscall.EDQUOT, Transient},
+		{syscall.EIO, Fatal},
+		{syscall.EBADF, Fatal},
+		{errors.New("opaque"), Fatal},
+		// Wrapped errnos classify through the chain, as the WAL and
+		// faultfs both wrap.
+		{fmt.Errorf("append: %w", syscall.ENOSPC), Transient},
+		{&fs.PathError{Op: "write", Path: "wal", Err: syscall.ENOSPC}, Transient},
+		{fmt.Errorf("fsync: %w", syscall.EIO), Fatal},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Transient.String() != "transient" || Fatal.String() != "fatal" {
+		t.Fatal("Class.String drifted")
+	}
+}

@@ -159,10 +159,15 @@ type RecoveryInfo struct {
 
 // ReadyResponse answers /readyz (readiness: state is loaded and traffic is
 // safe). Recovery is present when the server runs over a durable store.
+// Degraded reports the store's read-only fallback: the probe stays 200 —
+// converged reads keep serving, so traffic should still route here — but
+// Status says "degraded" and writes answer 503 until the disk heals.
 type ReadyResponse struct {
-	Ready    bool          `json:"ready"`
-	Status   string        `json:"status"`
-	Recovery *RecoveryInfo `json:"recovery,omitempty"`
+	Ready          bool          `json:"ready"`
+	Status         string        `json:"status"`
+	Degraded       bool          `json:"degraded,omitempty"`
+	DegradedReason string        `json:"degraded_reason,omitempty"`
+	Recovery       *RecoveryInfo `json:"recovery,omitempty"`
 }
 
 // EndpointStats is the per-endpoint slice of /stats: request counts and the
@@ -201,6 +206,9 @@ type IndexStats struct {
 	MinShardLen int `json:"min_shard_len"`
 	MaxShardLen int `json:"max_shard_len"`
 	OverflowLen int `json:"overflow_len"`
+	// Quarantined counts shards disabled after a sub-index panic; their
+	// objects are unreachable until the process restarts and recovers.
+	Quarantined int `json:"quarantined_shards"`
 	Pending     int `json:"pending"`
 	Deleted     int `json:"deleted"`
 	Queries     int `json:"core_queries"`

@@ -9,6 +9,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,21 +58,30 @@ func newBatcher(ix *shard.Index, adm *admission, window time.Duration, limit int
 // do answers one query, possibly coalesced with concurrent ones. With a
 // zero window the query executes immediately (still under an execution
 // slot). tr, when non-nil, collects stage timings for the sampled trace.
-func (b *batcher) do(q geom.Box, tr *telemetry.Trace) []int32 {
+// ctx covers this submitter only: the immediate path threads it into the
+// shard fan-out, and a coalesced submitter stops waiting when it ends —
+// the batch leader keeps executing on behalf of the other waiters (it
+// coalesces many clients, so no single client's disconnect aborts it).
+func (b *batcher) do(ctx context.Context, q geom.Box, tr *telemetry.Trace) ([]int32, error) {
 	if b.window <= 0 {
 		// The result buffer comes from the shard pool; handleQuery returns
 		// it after encoding the response.
 		var out []int32
+		var err error
 		b.adm.execTraced(tr, func() {
 			t0 := time.Now()
-			out = b.ix.QueryTraced(q, shard.GetResultBuf(), tr)
+			out, err = b.ix.QueryTracedCtx(ctx, q, shard.GetResultBuf(), tr)
 			tr.StageSince(telemetry.StageFanout, t0)
 		})
 		b.mOccupancy.Observe(1)
 		tr.SetBatchSize(1)
 		b.batches.Add(1)
 		b.queries.Add(1)
-		return out
+		if err != nil {
+			shard.PutResultBuf(out)
+			return nil, err
+		}
+		return out, nil
 	}
 	submitted := time.Now()
 	b.mu.Lock()
@@ -92,14 +102,22 @@ func (b *batcher) do(q geom.Box, tr *telemetry.Trace) []int32 {
 		close(bt.fire)
 	}
 	b.mu.Unlock()
-	<-bt.done
+	select {
+	case <-bt.done:
+	case <-ctx.Done():
+		// Abandon the slot: the leader still executes and closes done, but
+		// nobody collects results[slot] — its pooled buffer falls to the GC,
+		// which is the price of not making every waiter hostage to the
+		// slowest client's patience.
+		return nil, ctx.Err()
+	}
 	if tr != nil {
 		// Time parked in the coalescing window (and behind the leader's slot
 		// wait) before the batch actually started executing.
 		tr.AddStage(telemetry.StageCoalesce, bt.execStart.Sub(submitted))
 		tr.SetBatchSize(len(bt.boxes))
 	}
-	return bt.results[slot]
+	return bt.results[slot], nil
 }
 
 // run is the batch leader: it sleeps out the window (or a full batch),

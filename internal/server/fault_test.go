@@ -1,0 +1,186 @@
+// Serving-layer failure modes: degraded-store writes answering 503 with
+// Retry-After while reads and probes keep flowing, and request contexts
+// (client disconnect, per-request deadline) cutting index work short.
+
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/ioerr"
+	"repro/internal/shard"
+)
+
+// flakyStore is a Durability stub whose writes fail with ErrDegraded while
+// the degraded flag is up, mirroring internal/durable.Store's contract.
+type flakyStore struct {
+	ix       *shard.Index
+	degraded atomic.Bool
+	reason   string
+}
+
+func (f *flakyStore) Insert(objs ...geom.Object) error {
+	if f.degraded.Load() {
+		return ioerr.ErrDegraded
+	}
+	return f.ix.Insert(objs...)
+}
+
+func (f *flakyStore) Delete(id int32, hint geom.Box) (bool, error) {
+	if f.degraded.Load() {
+		return false, ioerr.ErrDegraded
+	}
+	return f.ix.Delete(id, hint)
+}
+
+func (f *flakyStore) Checkpoint() (uint64, error) {
+	if f.degraded.Load() {
+		return 0, ioerr.ErrDegraded
+	}
+	return 1, nil
+}
+
+func (f *flakyStore) Degraded() (bool, string) {
+	if f.degraded.Load() {
+		return true, f.reason
+	}
+	return false, ""
+}
+
+func TestDegradedStoreWritesShedReadsServe(t *testing.T) {
+	data := dataset.Uniform(2000, 71)
+	ix := shard.New(data, shard.Config{Shards: 4})
+	store := &flakyStore{ix: ix, reason: "wal append: fsync failed"}
+	s := New(ix, Config{Durability: store, BatchWindow: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	store.degraded.Store(true)
+
+	// Writes shed with 503 + Retry-After.
+	obj := ObjectJSON{ID: 900_001}
+	obj.Min = [geom.Dims]float64{1, 1, 1}
+	obj.Max = [geom.Dims]float64{2, 2, 2}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/insert",
+		strings.NewReader(`{"objects":[{"id":900001,"min":[1,1,1],"max":[2,2,2]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/insert while degraded: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("/insert 503 missing Retry-After")
+	}
+
+	var del DeleteResponse
+	if st := call(t, client, http.MethodPost, ts.URL+"/delete",
+		DeleteRequest{ID: data[0].ID, Hint: BoxToJSON(data[0].Box)}, &del); st != http.StatusServiceUnavailable {
+		t.Fatalf("/delete while degraded: %d, want 503", st)
+	}
+	if st := call(t, client, http.MethodPost, ts.URL+"/snapshot", struct{}{}, nil); st != http.StatusServiceUnavailable {
+		t.Fatalf("/snapshot while degraded: %d, want 503", st)
+	}
+
+	// Reads keep serving.
+	var qr QueryResponse
+	q := QueryRequest{BoxJSON: BoxToJSON(geom.BoxAt(data[0].Center(), 1))}
+	if st := call(t, client, http.MethodPost, ts.URL+"/query", q, &qr); st != http.StatusOK {
+		t.Fatalf("/query while degraded: %d, want 200", st)
+	}
+
+	// /readyz stays 200 (traffic should still route here) but says degraded.
+	var ready ReadyResponse
+	if st := call(t, client, http.MethodGet, ts.URL+"/readyz", nil, &ready); st != http.StatusOK {
+		t.Fatalf("/readyz while degraded: %d, want 200", st)
+	}
+	if !ready.Degraded || ready.Status != "degraded" || ready.DegradedReason == "" {
+		t.Fatalf("/readyz degraded report: %+v", ready)
+	}
+
+	// Healing clears everything.
+	store.degraded.Store(false)
+	var ins InsertResponse
+	if st := call(t, client, http.MethodPost, ts.URL+"/insert",
+		InsertRequest{Objects: []ObjectJSON{obj}}, &ins); st != http.StatusOK {
+		t.Fatalf("/insert after heal: %d, want 200", st)
+	}
+	ready = ReadyResponse{} // omitempty fields would otherwise keep stale values
+	if st := call(t, client, http.MethodGet, ts.URL+"/readyz", nil, &ready); st != http.StatusOK || ready.Degraded || ready.Status != "ready" {
+		t.Fatalf("/readyz after heal: status %d, %+v", st, ready)
+	}
+}
+
+func TestCancelledRequestAnswers503(t *testing.T) {
+	data := dataset.Uniform(1000, 72)
+	ix := shard.New(data, shard.Config{Shards: 4})
+	s := New(ix, Config{BatchWindow: -1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	body := strings.NewReader(`{"queries":[{"min":[0,0,0],"max":[1,1,1]}]}`)
+	req := httptest.NewRequest(http.MethodPost, "/batch", body).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled /batch: %d, want 503", rec.Code)
+	}
+	if s.mCancelled.Value() != 1 {
+		t.Fatalf("quasii_http_cancelled_total = %d, want 1", s.mCancelled.Value())
+	}
+
+	// Updates observe cancellation before touching the WAL/index.
+	req = httptest.NewRequest(http.MethodPost, "/insert",
+		strings.NewReader(`{"objects":[{"id":900001,"min":[1,1,1],"max":[2,2,2]}]}`)).WithContext(ctx)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled /insert: %d, want 503", rec.Code)
+	}
+	if n := ix.Query(geom.BoxAt(geom.Point{1.5, 1.5, 1.5}, 0.1), nil); len(n) != 0 {
+		t.Fatalf("cancelled insert reached the index: %v", n)
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/knn",
+		strings.NewReader(`{"point":[0,0,0],"k":3}`)).WithContext(ctx)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled /knn: %d, want 503", rec.Code)
+	}
+}
+
+func TestRequestTimeoutExpires(t *testing.T) {
+	data := dataset.Uniform(1000, 73)
+	ix := shard.New(data, shard.Config{Shards: 4})
+	// A 1ns deadline has always expired by the time the fan-out checks it;
+	// the coalescing window is disabled so /query takes the immediate path
+	// where the context reaches the shard engine directly.
+	s := New(ix, Config{BatchWindow: -1, RequestTimeout: time.Nanosecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var qr QueryResponse
+	st := call(t, ts.Client(), http.MethodPost, ts.URL+"/query",
+		QueryRequest{BoxJSON: BoxToJSON(dataset.Universe())}, &qr)
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("/query past deadline: %d, want 503", st)
+	}
+	if s.mCancelled.Value() == 0 {
+		t.Fatal("deadline expiry not counted in quasii_http_cancelled_total")
+	}
+}

@@ -35,6 +35,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/ioerr"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
@@ -81,6 +83,12 @@ type Config struct {
 	FlushEvery int
 	// MaxBodyBytes caps a request body. 0 selects 8 MiB.
 	MaxBodyBytes int64
+	// RequestTimeout bounds the index work of one request: the handler's
+	// context (already cancelled when the client disconnects) additionally
+	// expires after this long, and the shard fan-out observes it between
+	// probes. Expired requests answer 503 with Retry-After. 0 disables the
+	// deadline; client-disconnect cancellation is always on.
+	RequestTimeout time.Duration
 	// MaxBatch caps queries per /batch request and objects per /insert
 	// request; MaxK caps /knn's k. 0 selects 4096.
 	MaxBatch int
@@ -141,6 +149,15 @@ type DurabilityRecoverer interface {
 	RecoveryInfo() (snapshotSeq uint64, walRecordsReplayed int64, bootstrapped bool, restoreSeconds float64)
 }
 
+// DurabilityDegrader is the optional degraded-state probe: a Durability
+// implementation that also satisfies it (internal/durable.Store does) gets
+// its read-only fallback surfaced on /readyz. While degraded, the server
+// keeps answering reads (the probe stays 200 so traffic still routes here)
+// and turns writes into 503 + Retry-After.
+type DurabilityDegrader interface {
+	Degraded() (degraded bool, reason string)
+}
+
 func (cfg Config) withDefaults() Config {
 	if cfg.BatchWindow == 0 {
 		cfg.BatchWindow = 2 * time.Millisecond
@@ -185,6 +202,10 @@ type Server struct {
 	reg    *telemetry.Registry // never nil after New
 	tracer *telemetry.Tracer   // never nil after New; samples per Config
 	log    *slog.Logger        // never nil after New; discards by default
+
+	// mCancelled counts requests whose context ended (client disconnect or
+	// RequestTimeout) before their index work completed.
+	mCancelled *telemetry.Counter
 
 	// ready gates /readyz. New sets it true — an in-process server over an
 	// already-built index is ready the moment it exists — and process
@@ -281,6 +302,8 @@ func (s *Server) instrument() {
 	s.reg.GaugeFunc("quasii_server_uptime_seconds",
 		"Seconds since the server was created.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	s.mCancelled = s.reg.Counter("quasii_http_cancelled_total",
+		"Requests abandoned mid-flight: client disconnected or the per-request deadline expired.")
 }
 
 // handleMetrics renders the Prometheus text exposition.
@@ -457,8 +480,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
 	tr := s.tracer.Begin("query")
-	ids := s.bat.do(req.Box(), tr)
+	ids, err := s.bat.do(ctx, req.Box(), tr)
+	if err != nil {
+		s.tracer.Finish(tr)
+		s.writeCancelled(w, err)
+		return
+	}
 	if ids == nil {
 		ids = []int32{}
 	}
@@ -543,12 +573,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			traces[i] = tr
 		}
 	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
 	var results [][]int32
+	var err error
 	s.adm.execTraced(tr, func() {
 		t0 := traceNow(tr)
-		results = s.ix.QueryBatchTraced(boxes, traces)
+		results, err = s.ix.QueryBatchTracedCtx(ctx, boxes, traces)
 		tr.StageSince(telemetry.StageFanout, t0)
 	})
+	if err != nil {
+		s.tracer.Finish(tr)
+		// Answered sub-queries hold pooled buffers; recycle before bailing.
+		shard.RecycleResults(results)
+		s.writeCancelled(w, err)
+		return
+	}
 	total := 0
 	for i := range results {
 		if results[i] == nil {
@@ -581,12 +621,14 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, fmt.Errorf("k must be in [1, %d], got %d", s.cfg.MaxK, req.K))
 		return
 	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
 	tr := s.tracer.Begin("knn")
 	var nn []NeighborJSON
 	var err error
 	s.adm.execTraced(tr, func() {
 		t0 := traceNow(tr)
-		found, kerr := s.ix.KNN(geom.Point(req.Point), req.K)
+		found, kerr := s.ix.KNNCtx(ctx, geom.Point(req.Point), req.K)
 		tr.StageSince(telemetry.StageFanout, t0)
 		err = kerr
 		nn = make([]NeighborJSON, len(found))
@@ -596,6 +638,10 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		s.tracer.Finish(tr)
+		if ctxErr(err) {
+			s.writeCancelled(w, err)
+			return
+		}
 		writeJSON(w, http.StatusNotImplemented, ErrorResponse{Error: err.Error()})
 		return
 	}
@@ -629,14 +675,28 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		}
 		objs[i] = o.Object()
 	}
+	// Updates observe the context only BEFORE starting: once the WAL append
+	// begins the operation runs to completion, because aborting between the
+	// durable log and the in-memory apply would tear the two apart.
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
 	var err error
-	if s.cfg.Durability != nil {
-		s.adm.exec(func() { err = s.cfg.Durability.Insert(objs...) })
-	} else {
-		s.adm.exec(func() { err = s.ix.Insert(objs...) })
-	}
+	s.adm.exec(func() {
+		if err = ctx.Err(); err != nil {
+			return
+		}
+		if s.cfg.Durability != nil {
+			err = s.cfg.Durability.Insert(objs...)
+		} else {
+			err = s.ix.Insert(objs...)
+		}
+	})
 	if err != nil {
-		writeJSON(w, updateErrStatus(err), ErrorResponse{Error: err.Error()})
+		if ctxErr(err) {
+			s.writeCancelled(w, err)
+			return
+		}
+		writeUpdateErr(w, err)
 		return
 	}
 	// Pending is a lock-free estimate: sampling the engine's exact count
@@ -658,15 +718,27 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, fmt.Errorf("hint: %w", err))
 		return
 	}
+	// Same pre-start-only context discipline as /insert.
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
 	var found bool
 	var err error
-	if s.cfg.Durability != nil {
-		s.adm.exec(func() { found, err = s.cfg.Durability.Delete(req.ID, req.Hint.Box()) })
-	} else {
-		s.adm.exec(func() { found, err = s.ix.Delete(req.ID, req.Hint.Box()) })
-	}
+	s.adm.exec(func() {
+		if err = ctx.Err(); err != nil {
+			return
+		}
+		if s.cfg.Durability != nil {
+			found, err = s.cfg.Durability.Delete(req.ID, req.Hint.Box())
+		} else {
+			found, err = s.ix.Delete(req.ID, req.Hint.Box())
+		}
+	})
 	if err != nil {
-		writeJSON(w, updateErrStatus(err), ErrorResponse{Error: err.Error()})
+		if ctxErr(err) {
+			s.writeCancelled(w, err)
+			return
+		}
+		writeUpdateErr(w, err)
 		return
 	}
 	if found {
@@ -676,13 +748,53 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 // updateErrStatus maps an update failure onto an HTTP status: a sub-index
-// without update support is a permanent 501, anything else (WAL I/O
+// without update support is a permanent 501, a degraded store (persistent
+// disk failure, writes suspended while reads keep serving) is 503 so
+// clients back off and retry once the disk heals, anything else (WAL I/O
 // failure, a store mid-shutdown) is a retryable-by-semantics 500.
 func updateErrStatus(err error) int {
 	if errors.Is(err, shard.ErrNotUpdatable) {
 		return http.StatusNotImplemented
 	}
+	if errors.Is(err, ioerr.ErrDegraded) {
+		return http.StatusServiceUnavailable
+	}
 	return http.StatusInternalServerError
+}
+
+// writeUpdateErr answers a failed update, attaching Retry-After to the
+// statuses that deserve a retry (degraded mode heals itself in the
+// background, so "later" is meaningful advice).
+func writeUpdateErr(w http.ResponseWriter, err error) {
+	status := updateErrStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// reqCtx derives the context a request's index work runs under: the
+// request's own context (cancelled when the client disconnects) bounded by
+// the configured per-request deadline, when any.
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// writeCancelled answers a request whose context ended mid-flight. A blown
+// deadline gets a real 503 + Retry-After; a disconnected client never reads
+// the body, but the status still feeds the error metrics honestly.
+func (s *Server) writeCancelled(w http.ResponseWriter, err error) {
+	s.mCancelled.Inc()
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+}
+
+// ctxErr reports whether err is a context cancellation/expiry.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // maybeFlush folds pending updates in once enough have accumulated. The
@@ -722,6 +834,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			MinShardLen:   st.MinShardLen,
 			MaxShardLen:   st.MaxShardLen,
 			OverflowLen:   st.OverflowLen,
+			Quarantined:   st.Quarantined,
 			Pending:       st.Pending,
 			Deleted:       st.Deleted,
 			Queries:       st.Core.Queries,
@@ -764,7 +877,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	var err error
 	s.adm.exec(func() { seq, err = s.cfg.Durability.Checkpoint() })
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		writeUpdateErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SnapshotResponse{Seq: seq})
@@ -835,6 +948,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			WALRecordsReplayed: replayed,
 			Bootstrapped:       bootstrapped,
 			RestoreSeconds:     secs,
+		}
+	}
+	// Degraded is visible but not unready: converged reads keep serving, so
+	// the probe stays 200 and load balancers keep routing — only writes shed
+	// (503 from the update handlers) until the store heals itself.
+	if dd, ok := s.cfg.Durability.(DurabilityDegrader); ok {
+		if deg, reason := dd.Degraded(); deg {
+			resp.Degraded = true
+			resp.DegradedReason = reason
+			if resp.Ready {
+				resp.Status = "degraded"
+			}
 		}
 	}
 	status := http.StatusOK

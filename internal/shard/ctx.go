@@ -1,0 +1,177 @@
+// Context-aware query entry points. The serving layer threads each
+// request's context down here so a client that disconnects (or blows its
+// per-request deadline) stops consuming shard probes instead of running its
+// fan-out to completion against nobody.
+//
+// Cancellation is cooperative and probe-granular: the context is checked
+// between shard probes, never inside one — a probe holds a shard lock and
+// finishes what it started, so a cancelled query costs at most one more
+// probe. The hot path is untouched: a nil or never-cancellable context
+// (context.Background(), the coalesced-batch leader) delegates straight to
+// the allocation-free plain variants, and the fan-out bodies below are
+// deliberate mirrors of the ones in shard.go/batch.go rather than a shared
+// parameterized implementation, so the converged read path keeps its
+// zero-allocation guarantee without carrying cancellation branches.
+//
+// On cancellation the ID slices returned are partial (whatever probes
+// completed); callers must discard them when err != nil. Pooled per-shard
+// buffers are always returned to the pool, cancelled or not, and the
+// fan-out always waits for its spawned goroutines before returning — a
+// cancelled query never leaks a buffer or leaves a goroutine writing into
+// a recycled one.
+
+package shard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/telemetry"
+)
+
+// QueryCtx is Query with cooperative cancellation. The returned slice is
+// meaningless when err != nil.
+func (ix *Index) QueryCtx(ctx context.Context, q geom.Box, out []int32) ([]int32, error) {
+	return ix.QueryTracedCtx(ctx, q, out, nil)
+}
+
+// QueryTracedCtx is QueryTraced with cooperative cancellation.
+func (ix *Index) QueryTracedCtx(ctx context.Context, q geom.Box, out []int32, tr *telemetry.Trace) ([]int32, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return ix.QueryTraced(q, out, tr), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	var hitBuf [16]*shardEntry
+	hit := ix.overlapping(q, hitBuf[:0])
+	ix.mFanout.Observe(float64(len(hit)))
+	tr.SetFanout(len(hit))
+	switch len(hit) {
+	case 0:
+		return out, nil
+	case 1:
+		return queryShard(hit[0], q, out, tr), nil
+	}
+	if ix.workers <= 1 {
+		return querySerialCtx(ctx, hit, q, out, tr)
+	}
+	var resArr [16]*[]int32
+	results := resArr[:]
+	if len(hit) > len(results) {
+		results = make([]*[]int32, len(hit))
+	}
+	var wg sync.WaitGroup
+	var cancelled error
+	for k := 1; k < len(hit); k++ {
+		if err := ctx.Err(); err != nil {
+			cancelled = err
+			break // results[k:] stay nil; the merge below skips them
+		}
+		buf := getIDBuf()
+		results[k] = buf
+		select {
+		case ix.sem <- struct{}{}:
+			wg.Add(1)
+			go func(sh *shardEntry, buf *[]int32) {
+				defer wg.Done()
+				*buf = queryShard(sh, q, (*buf)[:0], tr)
+				<-ix.sem
+			}(hit[k], buf)
+		default:
+			*buf = queryShard(hit[k], q, (*buf)[:0], tr)
+		}
+	}
+	if cancelled == nil {
+		if err := ctx.Err(); err != nil {
+			cancelled = err
+		} else {
+			out = queryShard(hit[0], q, out, tr)
+		}
+	}
+	// Even when cancelled, wait for the spawned probes: their buffers go
+	// back to the pool here, and returning while a goroutine still writes
+	// into a recycled buffer would corrupt another query's results.
+	wg.Wait()
+	for _, r := range results[1:len(hit)] {
+		if r == nil {
+			continue
+		}
+		if cancelled == nil {
+			out = append(out, (*r)...)
+		}
+		putIDBuf(r)
+	}
+	return out, cancelled
+}
+
+// querySerialCtx is querySerial with a cancellation check between shards.
+func querySerialCtx(ctx context.Context, hit []*shardEntry, q geom.Box, out []int32, tr *telemetry.Trace) ([]int32, error) {
+	for _, sh := range hit {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		out = queryShard(sh, q, out, tr)
+	}
+	return out, nil
+}
+
+// QueryBatchCtx is QueryBatch with cooperative cancellation: the drain loop
+// checks the context before claiming each query, so a cancelled batch stops
+// within one query per worker. The returned slice is indexed like queries;
+// when err != nil, unanswered entries are nil and answered ones are valid
+// (the serving layer still recycles them).
+func (ix *Index) QueryBatchCtx(ctx context.Context, queries []geom.Box) ([][]int32, error) {
+	return ix.QueryBatchTracedCtx(ctx, queries, nil)
+}
+
+// QueryBatchTracedCtx is QueryBatchTraced with cooperative cancellation.
+func (ix *Index) QueryBatchTracedCtx(ctx context.Context, queries []geom.Box, traces []*telemetry.Trace) ([][]int32, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return ix.QueryBatchTraced(queries, traces), nil
+	}
+	results := make([][]int32, len(queries))
+	var next atomic.Int64
+	drain := func() {
+		var hit []*shardEntry
+		for ctx.Err() == nil {
+			qi := int(next.Add(1)) - 1
+			if qi >= len(queries) {
+				return
+			}
+			var tr *telemetry.Trace
+			if traces != nil {
+				tr = traces[qi]
+			}
+			hit = ix.overlapping(queries[qi], hit[:0])
+			ix.mFanout.Observe(float64(len(hit)))
+			tr.SetFanout(len(hit))
+			results[qi] = querySerial(hit, queries[qi], GetResultBuf(), tr)
+		}
+	}
+	helpers := ix.workers
+	if helpers > len(queries) {
+		helpers = len(queries)
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < helpers; w++ {
+		select {
+		case ix.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				drain()
+				<-ix.sem
+			}()
+		default:
+		}
+	}
+	drain()
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}

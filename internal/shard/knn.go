@@ -7,6 +7,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -44,6 +45,25 @@ var ErrNoKNN = errors.New("shard: sub-index does not support KNN (NearestNeighbo
 // effect, like every QUASII query) when the probed region is still cold.
 // Safe for concurrent use; concurrent updates may or may not be reflected.
 func (ix *Index) KNN(p geom.Point, k int) ([]core.Neighbor, error) {
+	return ix.knn(nil, p, k)
+}
+
+// KNNCtx is KNN with cooperative cancellation: the context is checked
+// between shard probes (never inside one — a probe holds a shard lock and
+// is not interruptible), and a cancelled search returns ctx.Err() with the
+// neighbors merged so far. A nil or never-cancellable context delegates to
+// the plain path.
+func (ix *Index) KNNCtx(ctx context.Context, p geom.Point, k int) ([]core.Neighbor, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return ix.knn(nil, p, k)
+	}
+	return ix.knn(ctx, p, k)
+}
+
+// knn is the shared branch-and-bound body; ctx may be nil (no cancellation).
+// Probes run through the panic-isolating helpers in resilience.go: a shard
+// that panics is quarantined and skipped, and the search carries on.
+func (ix *Index) knn(ctx context.Context, p geom.Point, k int) ([]core.Neighbor, error) {
 	if k <= 0 {
 		return nil, nil
 	}
@@ -62,21 +82,33 @@ func (ix *Index) KNN(p geom.Point, k int) ([]core.Neighbor, error) {
 		if len(best) >= k && c.d > best[len(best)-1].DistSq {
 			break
 		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return best, err
+			}
+		}
+		if c.sh.quarantined.Load() {
+			continue
+		}
 		var found []core.Neighbor
 		done := false
 		if c.sh.sharedNN != nil {
-			c.sh.mu.RLock()
-			found, done = c.sh.sharedNN.KNNShared(p, k)
-			c.sh.mu.RUnlock()
+			var healthy bool
+			found, done, healthy = c.sh.knnSharedProbe(p, k)
+			if !healthy {
+				continue
+			}
 		}
 		if !done {
 			nn, ok := c.sh.sub.(NearestNeighborer)
 			if !ok {
 				return nil, ErrNoKNN
 			}
-			c.sh.mu.Lock()
-			found = nn.KNN(p, k)
-			c.sh.mu.Unlock()
+			var healthy bool
+			found, healthy = c.sh.knnExclusiveProbe(nn, p, k)
+			if !healthy {
+				continue
+			}
 		}
 		best = mergeNeighbors(best, found, k)
 	}

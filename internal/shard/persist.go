@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/geom"
 )
 
@@ -116,18 +117,35 @@ const overflowFileName = "overflow.snap"
 // durability (fsync of dir itself, atomic rename into place) is left to the
 // caller.
 func (ix *Index) Snapshot(dir string) error {
+	return ix.SnapshotFS(dir, faultfs.OS{})
+}
+
+// SnapshotFS is Snapshot over an injectable file system — the durable
+// store threads its (possibly fault-injecting) FS through here so
+// checkpoint rotation is exercised by the same fault rules as the WAL.
+func (ix *Index) SnapshotFS(dir string, fsys faultfs.FS) error {
 	type job struct {
 		sh     *shardEntry
 		file   string
 		bounds geom.Box // live bounds captured under the shard's read lock
 		err    error
 	}
+	// A quarantined shard vetoes the whole snapshot: its sub-index just
+	// demonstrated it cannot be trusted (a probe panicked mid-walk), and
+	// persisting it would promote a transient in-memory corruption into
+	// every future restart. Callers keep the previous generation instead.
 	jobs := make([]*job, 0, len(ix.shards)+1)
 	for i, sh := range ix.shards {
+		if sh.quarantined.Load() {
+			return fmt.Errorf("snapshot refused, shard %d: %w", i, ErrQuarantined)
+		}
 		jobs = append(jobs, &job{sh: sh, file: shardFileName(i)})
 	}
 	overflow := ix.overflow.Load()
 	if overflow != nil {
+		if overflow.quarantined.Load() {
+			return fmt.Errorf("snapshot refused, overflow shard: %w", ErrQuarantined)
+		}
 		jobs = append(jobs, &job{sh: overflow, file: overflowFileName})
 	}
 
@@ -140,7 +158,7 @@ func (ix *Index) Snapshot(dir string) error {
 		wg.Add(1)
 		go func(j *job, sub Saver) {
 			defer wg.Done()
-			j.bounds, j.err = writeShardFile(filepath.Join(dir, j.file), j.sh, sub)
+			j.bounds, j.err = writeShardFile(fsys, filepath.Join(dir, j.file), j.sh, sub)
 		}(j, sub)
 	}
 	wg.Wait()
@@ -158,7 +176,7 @@ func (ix *Index) Snapshot(dir string) error {
 			File: j.file, Tile: boxToManifest(j.sh.tile), Bounds: boxToManifest(j.bounds),
 		})
 	}
-	return writeManifest(filepath.Join(dir, ManifestName), &m)
+	return writeManifest(fsys, filepath.Join(dir, ManifestName), &m)
 }
 
 // writeShardFile saves one sub-index to path under its shard's read lock
@@ -168,8 +186,8 @@ func (ix *Index) Snapshot(dir string) error {
 // shard lock), so bounds read here are guaranteed to cover the file — read
 // before the lock they could miss a racing insert, and a restored engine
 // would then skip the shard on queries its objects intersect.
-func writeShardFile(path string, sh *shardEntry, sub Saver) (geom.Box, error) {
-	f, err := os.Create(path)
+func writeShardFile(fsys faultfs.FS, path string, sh *shardEntry, sub Saver) (geom.Box, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return geom.Box{}, err
 	}
@@ -188,8 +206,8 @@ func writeShardFile(path string, sh *shardEntry, sub Saver) (geom.Box, error) {
 	return bounds, f.Close()
 }
 
-func writeManifest(path string, m *manifest) error {
-	f, err := os.Create(path)
+func writeManifest(fsys faultfs.FS, path string, m *manifest) error {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return err
 	}

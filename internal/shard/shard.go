@@ -127,6 +127,7 @@ type Stats struct {
 	MinShardLen int        // objects in the smallest spatial shard
 	MaxShardLen int        // objects in the largest spatial shard
 	OverflowLen int        // objects in the overflow shard (0 when absent)
+	Quarantined int        // shards quarantined after a sub-index panic (incl. overflow)
 	Pending     int        // appended objects not yet folded in (see Flush)
 	Deleted     int        // tombstoned objects awaiting compaction
 	Core        core.Stats // summed QUASII work counters
@@ -166,8 +167,15 @@ type shardEntry struct {
 	// the uninstrumented hot path pays one nil check per shard query).
 	mShared    *telemetry.Counter
 	mExclusive *telemetry.Counter
+	mPanics    *telemetry.Counter
 
 	bounds atomic.Pointer[geom.Box] // live MBB; read lock-free by queries
+
+	// quarantined is set when a probe into this shard's sub-index panicked:
+	// the structure can no longer be trusted, so queries, stats, updates and
+	// snapshots all skip the shard (see resilience.go) instead of letting a
+	// poisoned tile crash the process or corrupt a checkpoint.
+	quarantined atomic.Bool
 }
 
 // boundsBox returns the shard's current live bounding box.
@@ -222,6 +230,7 @@ type Index struct {
 	mFanout    *telemetry.Histogram // shards overlapped per query
 	mShared    *telemetry.Counter
 	mExclusive *telemetry.Counter
+	mPanics    *telemetry.Counter
 }
 
 // New partitions data into cfg.Shards spatial shards and builds one
@@ -264,6 +273,7 @@ func (ix *Index) newEntry(sub Queryable, tile geom.Box) *shardEntry {
 	// Instrument (the lazy overflow shard) report like the rest.
 	sh.mShared = ix.mShared
 	sh.mExclusive = ix.mExclusive
+	sh.mPanics = ix.mPanics
 	if !ix.noShared {
 		if sq, ok := sub.(SharedQueryable); ok {
 			sh.shared = sq
@@ -289,12 +299,18 @@ func (ix *Index) Workers() int { return ix.workers }
 // ShardBounds returns the live bounding box of shard i's objects.
 func (ix *Index) ShardBounds(i int) geom.Box { return ix.shards[i].boundsBox() }
 
-// forEach calls f on every shard including the overflow shard, if any.
+// forEach calls f on every healthy shard including the overflow shard, if
+// any. Quarantined shards are skipped: their sub-indexes can no longer be
+// trusted not to panic, so walks (Len, Stats, Flush, KNN candidate
+// collection) treat them as absent.
 func (ix *Index) forEach(f func(sh *shardEntry)) {
 	for _, sh := range ix.shards {
+		if sh.quarantined.Load() {
+			continue
+		}
 		f(sh)
 	}
-	if sh := ix.overflow.Load(); sh != nil {
+	if sh := ix.overflow.Load(); sh != nil && !sh.quarantined.Load() {
 		f(sh)
 	}
 }
@@ -323,17 +339,27 @@ func (ix *Index) ApproxLen() int { return int(ix.count.Load()) }
 // blocks (or is blocked by) the concurrent query traffic.
 func (ix *Index) Stats() Stats {
 	st := Stats{Shards: len(ix.shards)}
-	for i, sh := range ix.shards {
+	first := true
+	for _, sh := range ix.shards {
+		if sh.quarantined.Load() {
+			st.Quarantined++
+			continue
+		}
 		n := ix.collect(sh, &st)
-		if i == 0 || n < st.MinShardLen {
+		if first || n < st.MinShardLen {
 			st.MinShardLen = n
+			first = false
 		}
 		if n > st.MaxShardLen {
 			st.MaxShardLen = n
 		}
 	}
 	if sh := ix.overflow.Load(); sh != nil {
-		st.OverflowLen = ix.collect(sh, &st)
+		if sh.quarantined.Load() {
+			st.Quarantined++
+		} else {
+			st.OverflowLen = ix.collect(sh, &st)
+		}
 	}
 	return st
 }
@@ -403,11 +429,11 @@ func (ix *Index) CheckInvariants() error {
 // deterministic.
 func (ix *Index) overlapping(q geom.Box, hit []*shardEntry) []*shardEntry {
 	for _, sh := range ix.shards {
-		if sh.boundsBox().Intersects(q) {
+		if sh.boundsBox().Intersects(q) && !sh.quarantined.Load() {
 			hit = append(hit, sh)
 		}
 	}
-	if sh := ix.overflow.Load(); sh != nil && sh.boundsBox().Intersects(q) {
+	if sh := ix.overflow.Load(); sh != nil && sh.boundsBox().Intersects(q) && !sh.quarantined.Load() {
 		hit = append(hit, sh)
 	}
 	return hit
@@ -420,17 +446,24 @@ func (ix *Index) overlapping(q geom.Box, hit []*shardEntry) []*shardEntry {
 // stays short. Sub-indexes without shared support keep the old exclusive
 // behaviour. tr, when non-nil, receives per-path stage durations (a sampled
 // trace); the untraced path pays only the nil checks.
+// Both probes run through the panic-isolating helpers in resilience.go: a
+// sub-index that panics quarantines its shard and the query carries on with
+// the caller's buffer untouched, exactly as if the shard had not overlapped.
 func queryShard(sh *shardEntry, q geom.Box, out []int32, tr *telemetry.Trace) []int32 {
+	if sh.quarantined.Load() {
+		return out
+	}
 	if sh.shared != nil {
 		var t0 time.Time
 		if tr != nil {
 			t0 = time.Now()
 		}
-		sh.mu.RLock()
-		res, ok := sh.shared.QueryShared(q, out)
-		sh.mu.RUnlock()
+		res, ok, healthy := sh.sharedProbe(q, out)
 		if tr != nil {
 			tr.StageSince(telemetry.StageShared, t0)
+		}
+		if !healthy {
+			return out
 		}
 		if ok {
 			sh.mShared.Inc()
@@ -444,19 +477,16 @@ func queryShard(sh *shardEntry, q geom.Box, out []int32, tr *telemetry.Trace) []
 	if tr != nil {
 		t0 = time.Now()
 	}
-	sh.mu.Lock()
-	if sh.budgeted != nil && sh.crackBudget >= 0 {
-		out = sh.budgeted.QueryBudgeted(q, out, sh.crackBudget)
-	} else {
-		out = sh.sub.Query(q, out)
+	res, healthy := sh.exclusiveProbe(q, out)
+	if !healthy {
+		return out
 	}
-	sh.mu.Unlock()
 	sh.mExclusive.Inc()
 	if tr != nil {
 		tr.StageSince(telemetry.StageCrack, t0)
 		tr.AddExclusiveProbe()
 	}
-	return out
+	return res
 }
 
 // Query appends the IDs of all objects intersecting q to out and returns the

@@ -52,9 +52,12 @@ func (ix *Index) Instrument(reg *telemetry.Registry) {
 		"Shard probes that took the budgeted-exclusive (cracking) path.")
 	ix.mFanout = reg.Histogram("quasii_shard_fanout_width_shards",
 		"Shards overlapped per query.", telemetry.SizeBuckets)
+	ix.mPanics = reg.Counter("quasii_shard_panics_total",
+		"Panics recovered inside shard probes; each one quarantines its shard.")
 	ix.forEach(func(sh *shardEntry) {
 		sh.mShared = ix.mShared
 		sh.mExclusive = ix.mExclusive
+		sh.mPanics = ix.mPanics
 	})
 
 	// Scrape-time tier: one locked walk per scrape, cached for the funcs.
@@ -66,11 +69,20 @@ func (ix *Index) Instrument(reg *telemetry.Registry) {
 	reg.OnScrape(func() {
 		s := scrapeSnap{perShard: make([]shardSnap, 0, len(ix.shards))}
 		st := Stats{Shards: len(ix.shards)}
-		for i, sh := range ix.shards {
+		first := true
+		for _, sh := range ix.shards {
+			// A quarantined shard contributes a zero row (its labels stay
+			// stable) and is never probed: its sub-index cannot be trusted.
+			if sh.quarantined.Load() {
+				st.Quarantined++
+				s.perShard = append(s.perShard, shardSnap{})
+				continue
+			}
 			p0, d0 := st.Pending, st.Deleted
 			n := ix.collect(sh, &st)
-			if i == 0 || n < st.MinShardLen {
+			if first || n < st.MinShardLen {
 				st.MinShardLen = n
+				first = false
 			}
 			if n > st.MaxShardLen {
 				st.MaxShardLen = n
@@ -83,13 +95,17 @@ func (ix *Index) Instrument(reg *telemetry.Registry) {
 			}
 		}
 		if sh := ix.overflow.Load(); sh != nil {
-			p0, d0 := st.Pending, st.Deleted
-			st.OverflowLen = ix.collect(sh, &st)
-			s.overflow = shardSnap{
-				live: st.OverflowLen, pending: st.Pending - p0, deleted: st.Deleted - d0,
-			}
-			if sh.shared != nil {
-				s.epochs += sh.shared.Epoch()
+			if sh.quarantined.Load() {
+				st.Quarantined++
+			} else {
+				p0, d0 := st.Pending, st.Deleted
+				st.OverflowLen = ix.collect(sh, &st)
+				s.overflow = shardSnap{
+					live: st.OverflowLen, pending: st.Pending - p0, deleted: st.Deleted - d0,
+				}
+				if sh.shared != nil {
+					s.epochs += sh.shared.Epoch()
+				}
 			}
 		}
 		s.st = st
@@ -151,6 +167,9 @@ func (ix *Index) Instrument(reg *telemetry.Registry) {
 	reg.GaugeFunc("quasii_shard_total_objects",
 		"Live objects across all shards.",
 		get(func(s *scrapeSnap) float64 { return float64(s.st.Objects) }))
+	reg.GaugeFunc("quasii_shard_quarantined_shards",
+		"Shards currently quarantined after a sub-index panic (queries skip them).",
+		get(func(s *scrapeSnap) float64 { return float64(s.st.Quarantined) }))
 	for i := range ix.shards {
 		lbl := telemetry.L("shard", strconv.Itoa(i))
 		i := i

@@ -27,6 +27,7 @@ package shard
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/geom"
@@ -65,9 +66,9 @@ func (ix *Index) Insert(objs ...geom.Object) error {
 			return ErrNotUpdatable
 		}
 		sh.extendBounds(objs[i].Box)
-		sh.mu.Lock()
-		up.Append(objs[i])
-		sh.mu.Unlock()
+		if !sh.appendProbe(up, objs[i]) {
+			return fmt.Errorf("%w (insert of id %d dropped)", ErrQuarantined, objs[i].ID)
+		}
 		ix.count.Add(1)
 	}
 	return nil
@@ -76,7 +77,10 @@ func (ix *Index) Insert(objs ...geom.Object) error {
 // route picks the owning shard for an object: the nearest build-time tile
 // by the object's center (containment means distance zero; ties break in
 // shard order, deterministically), or the overflow shard when the center
-// lies outside the union of all tiles.
+// lies outside the union of all tiles. Quarantined shards no longer accept
+// objects, so routing falls through to the next-nearest healthy tile (the
+// live bounds it extends keep queries correct) and, when every spatial
+// shard is poisoned, to the overflow shard.
 func (ix *Index) route(o *geom.Object) (*shardEntry, error) {
 	c := o.Center()
 	if !ix.tileMBB.ContainsPoint(c) {
@@ -85,12 +89,18 @@ func (ix *Index) route(o *geom.Object) (*shardEntry, error) {
 	var best *shardEntry
 	bestD := math.Inf(1)
 	for _, sh := range ix.shards {
+		if sh.quarantined.Load() {
+			continue
+		}
 		if d := sh.tile.MinDistSq(c); d < bestD {
 			best, bestD = sh, d
 			if d == 0 {
 				break
 			}
 		}
+	}
+	if best == nil {
+		return ix.ensureOverflow()
 	}
 	return best, nil
 }
@@ -100,11 +110,17 @@ func (ix *Index) route(o *geom.Object) (*shardEntry, error) {
 // over no objects; its bounding box starts empty and grows with inserts.
 func (ix *Index) ensureOverflow() (*shardEntry, error) {
 	if sh := ix.overflow.Load(); sh != nil {
+		if sh.quarantined.Load() {
+			return nil, ErrQuarantined
+		}
 		return sh, nil
 	}
 	ix.ovMu.Lock()
 	defer ix.ovMu.Unlock()
 	if sh := ix.overflow.Load(); sh != nil {
+		if sh.quarantined.Load() {
+			return nil, ErrQuarantined
+		}
 		return sh, nil
 	}
 	sub := ix.build(nil)
@@ -130,9 +146,10 @@ func (ix *Index) Delete(id int32, hint geom.Box) (bool, error) {
 		if !ok {
 			return false, ErrNotUpdatable
 		}
-		sh.mu.Lock()
-		found := up.Delete(id, hint)
-		sh.mu.Unlock()
+		found, healthy := sh.deleteProbe(up, id, hint)
+		if !healthy {
+			continue // shard just quarantined itself; probe the rest
+		}
 		if found {
 			ix.count.Add(-1)
 			return true, nil

@@ -27,9 +27,17 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/geom"
 	"repro/internal/telemetry"
 )
+
+// ErrBroken marks a log whose file can no longer be trusted: a failed
+// fsync (the kernel may have dropped the very pages that failed to reach
+// disk), or a failed append whose partial frame could not be cut back.
+// Every later operation fails with it; recovery means retiring the file
+// via a checkpoint rotation, not retrying against it.
+var ErrBroken = errors.New("wal: log broken by prior I/O failure")
 
 // SyncPolicy controls when appended records are fsynced to stable storage.
 type SyncPolicy int
@@ -96,7 +104,7 @@ type Metrics struct {
 // concurrent use.
 type Log struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       faultfs.File
 	policy  SyncPolicy
 	buf     []byte // frame scratch, reused across appends
 	size    int64
@@ -104,6 +112,10 @@ type Log struct {
 	// truncated records how many torn-tail bytes open-time recovery cut
 	// from the file — fixed at Create/OpenReplay so callers can log it.
 	truncated int64
+	// broken is non-nil once the file is untrustworthy (failed fsync, or a
+	// failed append whose partial frame could not be cut back). It wraps
+	// ErrBroken; every later append or sync returns it.
+	broken error
 }
 
 // TruncatedBytes reports how many bytes of torn or corrupt tail were cut
@@ -123,7 +135,12 @@ func (l *Log) SetMetrics(m *Metrics) {
 // torn tail (from a crash mid-append), it is truncated to the last intact
 // record first — call Replay before Create to apply the surviving records.
 func Create(path string, policy SyncPolicy) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	return CreateFS(faultfs.OS{}, path, policy)
+}
+
+// CreateFS is Create over an injectable file system.
+func CreateFS(fsys faultfs.FS, path string, policy SyncPolicy) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +166,7 @@ func Create(path string, policy SyncPolicy) (*Log, error) {
 }
 
 // tornTail measures how far the file extends past the last intact record.
-func tornTail(f *os.File, good int64) (int64, error) {
+func tornTail(f faultfs.File, good int64) (int64, error) {
 	fi, err := f.Stat()
 	if err != nil {
 		return 0, err
@@ -167,7 +184,12 @@ func tornTail(f *os.File, good int64) (int64, error) {
 // created empty (apply is never called). It returns the number of records
 // replayed alongside the log.
 func OpenReplay(path string, policy SyncPolicy, apply func(*Record) error) (*Log, int, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	return OpenReplayFS(faultfs.OS{}, path, policy, apply)
+}
+
+// OpenReplayFS is OpenReplay over an injectable file system.
+func OpenReplayFS(fsys faultfs.FS, path string, policy SyncPolicy, apply func(*Record) error) (*Log, int, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -214,7 +236,12 @@ func OpenReplay(path string, policy SyncPolicy, apply func(*Record) error) (*Log
 // ends replay cleanly; the error return is reserved for I/O failures and
 // apply errors.
 func Replay(path string, apply func(*Record) error) (int, error) {
-	f, err := os.Open(path)
+	return ReplayFS(faultfs.OS{}, path, apply)
+}
+
+// ReplayFS is Replay over an injectable file system.
+func ReplayFS(fsys faultfs.FS, path string, apply func(*Record) error) (int, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
 	}
@@ -241,7 +268,7 @@ func Replay(path string, apply func(*Record) error) (int, error) {
 }
 
 // scanIntact returns the offset just past the last intact record.
-func scanIntact(f *os.File) (int64, error) {
+func scanIntact(f faultfs.File) (int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, err
 	}
@@ -298,7 +325,18 @@ func (l *Log) payloadBuf(need int) []byte {
 
 // commit frames the payload (which sits at l.buf[8:]), writes it in one
 // Write call, and syncs per policy. Called with mu held.
+//
+// A failed write self-repairs: whatever prefix of the frame reached the
+// file is cut back so the log still ends on its last intact record and a
+// retried append starts clean. If the cut itself fails the log is marked
+// broken — the file's tail is unknown and nothing may append after it. A
+// failed fsync marks the log broken unconditionally (fsync-gate semantics:
+// the kernel may have dropped the dirty pages that failed, so a later
+// "successful" fsync proves nothing about these bytes).
 func (l *Log) commit(p []byte) error {
+	if l.broken != nil {
+		return l.broken
+	}
 	payload := p[8:]
 	binary.LittleEndian.PutUint32(p[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(p[4:], crc32.Checksum(payload, crcTable))
@@ -308,7 +346,10 @@ func (l *Log) commit(p []byte) error {
 		t0 = time.Now()
 	}
 	if _, err := l.f.Write(p); err != nil {
-		return err
+		if terr := l.truncateBack(); terr != nil {
+			l.broken = fmt.Errorf("%w: cutting partial frame: %v (append failed: %v)", ErrBroken, terr, err)
+		}
+		return fmt.Errorf("wal append: %w", err)
 	}
 	l.size += int64(len(p))
 	if l.policy == SyncAlways {
@@ -324,17 +365,34 @@ func (l *Log) commit(p []byte) error {
 	return nil
 }
 
-// syncTimed fsyncs, reporting latency when instrumented. Called with mu held.
-func (l *Log) syncTimed() error {
-	m := l.metrics
-	if m == nil {
-		return l.f.Sync()
+// truncateBack restores the file to its last committed length after a
+// failed append. Called with mu held.
+func (l *Log) truncateBack() error {
+	if err := l.f.Truncate(l.size); err != nil {
+		return err
 	}
-	t0 := time.Now()
-	err := l.f.Sync()
-	m.Fsyncs.Inc()
-	m.FsyncSeconds.ObserveDuration(time.Since(t0))
+	_, err := l.f.Seek(l.size, io.SeekStart)
 	return err
+}
+
+// syncTimed fsyncs, reporting latency when instrumented. A failure marks
+// the log broken. Called with mu held.
+func (l *Log) syncTimed() error {
+	var t0 time.Time
+	m := l.metrics
+	if m != nil {
+		t0 = time.Now()
+	}
+	err := l.f.Sync()
+	if m != nil {
+		m.Fsyncs.Inc()
+		m.FsyncSeconds.ObserveDuration(time.Since(t0))
+	}
+	if err != nil {
+		l.broken = fmt.Errorf("%w: fsync failed: %v", ErrBroken, err)
+		return fmt.Errorf("wal fsync: %w", err)
+	}
+	return nil
 }
 
 // Sync forces buffered records to stable storage. Used by the SyncInterval
@@ -342,7 +400,19 @@ func (l *Log) syncTimed() error {
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.broken != nil {
+		return l.broken
+	}
 	return l.syncTimed()
+}
+
+// Broken reports the error that condemned the log's file, or nil while the
+// log is healthy. A broken log cannot be repaired in place; the durable
+// store responds by rotating to a fresh log via checkpoint.
+func (l *Log) Broken() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken
 }
 
 // Size returns the current log length in bytes.
@@ -352,11 +422,13 @@ func (l *Log) Size() int64 {
 	return l.size
 }
 
-// Close syncs (unless the policy is SyncNever) and closes the file.
+// Close syncs (unless the policy is SyncNever, or the log is already
+// broken — syncing an untrustworthy file proves nothing) and closes the
+// file.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.policy != SyncNever {
+	if l.policy != SyncNever && l.broken == nil {
 		if err := l.f.Sync(); err != nil {
 			l.f.Close()
 			return err

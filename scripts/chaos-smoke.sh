@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Process-level chaos smoke for the full durable serving stack:
+#
+#   1. quasii-loadgen -chaos launches quasii-serve over a durable data dir,
+#      then SIGKILLs and restarts it mid-load while oracle-validating every
+#      response — the clients must absorb each restart window (transport
+#      retries) and every answer must still match the local scan oracle.
+#      The run fails if any restart never recovers (WAL replay stuck), if
+#      any response is wrong, or if the post-run /metrics scrape is missing
+#      the failure-model series (quasii_durable_degraded,
+#      quasii_wal_retry_total, quasii_fault_injected_total).
+#   2. A fresh server over the surviving data dir is oracle-validated once
+#      more with the traffic cross-check enabled — the state the crashes
+#      left behind must still be exactly the base dataset.
+#
+# This is the black-box complement to the in-process crash-point sweep
+# (internal/durable TestCrashPointSweep): same failure model, real
+# processes, real SIGKILL, real sockets. Run from the repository root.
+# Exits non-zero on any failure.
+set -eu
+
+N=20000
+SEED=1
+ADDR=127.0.0.1:18090
+BASE=http://$ADDR
+DIR=$(mktemp -d)
+SRV_PID=
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+go build -o "$DIR/quasii-serve" ./cmd/quasii-serve
+go build -o "$DIR/quasii-loadgen" ./cmd/quasii-loadgen
+
+echo "== 1. chaos run: kill/restart mid-load, oracle on every response"
+# The workload is sized so the kill cadence lands well inside the run; a
+# sluggish CI machine only stretches the run, which gives the kills more
+# room, never less.
+OUT=$("$DIR/quasii-loadgen" -addr "$BASE" -oracle -check-metrics \
+  -n $N -seed $SEED -clients 4 -queries 30000 -selectivity 1e-4 \
+  -chaos "$DIR/quasii-serve -addr $ADDR -n $N -seed $SEED -data-dir $DIR/data -fsync always -checkpoint-every 0 -log-format json" \
+  -chaos-kills 2 -chaos-interval 250ms | tee /dev/stderr)
+
+# The harness must have actually crashed the server and recovered it —
+# a chaos run where no kill landed validates nothing.
+echo "$OUT" | grep -qE 'chaos: [1-9][0-9]* kills' \
+  || { echo "chaos run delivered no kills (workload drained too fast?)"; exit 1; }
+KILLS=$(echo "$OUT" | sed -nE 's/^chaos: ([0-9]+) kills, ([0-9]+) recovered restarts.*/\1 \2/p')
+[ "${KILLS% *}" = "${KILLS#* }" ] \
+  || { echo "not every kill recovered: $KILLS"; exit 1; }
+# The clients must have ridden out at least one restart window.
+echo "$OUT" | grep -q 'transport errors absorbed' \
+  || { echo "no transport retries absorbed despite kills"; exit 1; }
+# The durable failure-model series were on the final scrape.
+echo "$OUT" | grep -q '^durable: degraded 0,' \
+  || { echo "scrape missing (or degraded) quasii_durable_* series"; exit 1; }
+
+echo "== 2. the surviving data dir still serves the exact base dataset"
+"$DIR/quasii-serve" -addr "$ADDR" -n $N -seed $SEED -data-dir "$DIR/data" \
+  -fsync always -checkpoint-every 0 -log-format json &
+SRV_PID=$!
+"$DIR/quasii-loadgen" -addr "$BASE" -oracle -n $N -seed $SEED \
+  -clients 4 -queries 300 -wait 30s
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || true
+SRV_PID=
+echo "chaos smoke passed"

@@ -12,8 +12,9 @@
 # Run from the repository root. Exits non-zero listing every violation.
 set -eu
 
-SUBSYSTEMS='http|server|shard|core|wal|store'
-UNITS='total|seconds|bytes|ratio|objects|queries|requests|shards|slices|seq'
+SUBSYSTEMS='http|server|shard|core|wal|store|fault|durable'
+# "degraded" is the boolean-gauge unit of quasii_durable_degraded (0/1).
+UNITS='total|seconds|bytes|ratio|objects|queries|requests|shards|slices|seq|degraded'
 
 # Every string literal that looks like a metric name, wherever registered.
 # Excluded: tests (they register throwaway quasii_test_* names) and
