@@ -42,6 +42,19 @@
 // server at a durable -data-dir, or the kills genuinely destroy state and
 // the oracle reports it. Server counters reset across restarts, so the
 // /metrics cross-check validates series presence and shape only.
+//
+// -failover-leader/-failover-follower "CMD ARGS..." switch to failover
+// mode: the generator launches a leader and a replicating follower from
+// the two command lines, watches the follower's /readyz gate traffic until
+// it catches up, fans oracle-validated reads over both servers, pushes
+// acknowledged writes at the leader, waits for the follower to report zero
+// replication lag, SIGKILLs the leader mid-load, promotes the follower
+// (POST /repl/promote on -follower-addr), and verifies every acknowledged
+// write survived and post-promotion writes flow. Any lost write, missed
+// readiness gate, silently-accepted replica write, error or mismatch makes
+// the run exit non-zero — the zero-loss validation behind
+// scripts/replication-smoke.sh. -failover-writes sets the acknowledged
+// write count.
 package main
 
 import (
@@ -89,6 +102,14 @@ func main() {
 	chaosKills := flag.Int("chaos-kills", 3, "kill/restart cycles in -chaos mode")
 	chaosInterval := flag.Duration("chaos-interval", 2*time.Second,
 		"dwell between a recovered restart and the next kill in -chaos mode")
+	failoverLeader := flag.String("failover-leader", "",
+		"failover mode: launch the leader from this command line (whitespace-split)")
+	failoverFollower := flag.String("failover-follower", "",
+		"failover mode: launch the follower from this command line (whitespace-split)")
+	followerAddr := flag.String("follower-addr", "http://localhost:8081",
+		"failover mode: the follower's base URL")
+	failoverWrites := flag.Int("failover-writes", 200,
+		"failover mode: acknowledged writes pushed at the leader before the kill")
 	flag.Parse()
 
 	// The dataset is only materialized when something needs it: the oracle,
@@ -159,6 +180,45 @@ func main() {
 		}
 	}
 	failed := false
+	if *failoverLeader != "" || *failoverFollower != "" {
+		if *failoverLeader == "" || *failoverFollower == "" {
+			fmt.Fprintln(os.Stderr,
+				"quasii-loadgen: failover mode needs both -failover-leader and -failover-follower")
+			os.Exit(2)
+		}
+		fres, err := bench.RunFailover(bench.FailoverConfig{
+			LeaderCommand:   strings.Fields(*failoverLeader),
+			FollowerCommand: strings.Fields(*failoverFollower),
+			LeaderURL:       *addr,
+			FollowerURL:     *followerAddr,
+			Queries:         boxes,
+			Oracle:          cfg.Oracle,
+			Clients:         nClients,
+			AckWrites:       *failoverWrites,
+			ServerOut:       os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quasii-loadgen: %v\n", err)
+			failed = true
+		}
+		if fres != nil {
+			bench.PrintFailover(os.Stdout, fres)
+			// The whole point: nothing acknowledged may be lost, the
+			// readiness gate and the replica's write fence must have been
+			// observed working, and the promoted follower must take writes.
+			if fres.LostWrites > 0 || !fres.ReadinessGated ||
+				!fres.FollowerRejectedWrites || fres.PostPromoteWrites == 0 {
+				failed = true
+			}
+			if fres.Load != nil && (fres.Load.Mismatches > 0 || fres.Load.Errors > 0) {
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 	if *chaosCmd != "" {
 		// Chaos mode: own the server process, crash it mid-load, and make
 		// the clients absorb every restart window.

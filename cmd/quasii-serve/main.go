@@ -1,7 +1,8 @@
 // Command quasii-serve runs the HTTP/JSON query service over a sharded
 // QUASII index: the paper's in-process adaptive index turned into a network
 // server with request batching, admission control, live updates, metrics,
-// and (with -data-dir) durable persistence with warm restart.
+// (with -data-dir) durable persistence with warm restart, and (with
+// -replicate-from) fault-tolerant replication to read replicas.
 //
 // Usage:
 //
@@ -10,8 +11,10 @@
 //	             [-max-inflight 1024] [-exec-slots 0] [-flush-every 4096]
 //	             [-data-dir DIR] [-fsync always|interval|never]
 //	             [-fsync-interval 100ms] [-checkpoint-every 100000]
-//	             [-pprof :6060] [-trace-sample 64] [-slow-threshold 10ms]
-//	             [-slowlog-size 128] [-heat-sample 16]
+//	             [-retain 2] [-wal-retries 3] [-recover-every 5s]
+//	             [-role leader|follower|standalone] [-replicate-from URL]
+//	             [-max-lag 0] [-pprof :6060] [-trace-sample 64]
+//	             [-slow-threshold 10ms] [-slowlog-size 128] [-heat-sample 16]
 //	             [-log-level info] [-log-format text] [-dump-metrics]
 //
 // Without -data-dir the server builds the requested synthetic dataset (the
@@ -26,8 +29,34 @@
 // is replayed. /insert and /delete are logged before they are acknowledged
 // (-fsync selects the cadence), POST /snapshot checkpoints on demand,
 // -checkpoint-every N checkpoints automatically after N accepted updates,
-// and SIGTERM/SIGINT triggers a graceful shutdown: stop accepting requests,
-// write a final snapshot, truncate the log, exit 0.
+// -retain K keeps the last K snapshot+WAL generations on disk (minimum 2,
+// so replication streams always have a stable generation to read),
+// -wal-retries bounds the transient-append retry budget before the store
+// degrades to read-only, -recover-every sets the degraded store's disk
+// re-probe cadence, and SIGTERM/SIGINT triggers a graceful shutdown: stop
+// accepting requests, write a final snapshot, truncate the log, exit 0.
+//
+// Replication. A durable server is a replication leader by default: it
+// serves GET /repl/snapshot (the latest checkpoint generation as a
+// CRC-framed archive) and GET /repl/wal?from=N (raw WAL frames from global
+// sequence N, long-polling at the tail). Start a read replica by pointing
+// it at the leader:
+//
+//	quasii-serve -addr :8081 -data-dir /var/lib/quasii-replica \
+//	             -replicate-from http://leader-host:8080
+//
+// The follower bootstraps from the leader's snapshot, replays it, then
+// tails the WAL with bounded exponential backoff — it retries through
+// leader restarts and network faults, resuming from its own durable
+// position so no record is ever applied twice. Follower /insert and
+// /delete answer 503 with an X-Quasii-Leader hint; /readyz answers 503
+// until the follower has bootstrapped and is within -max-lag records of
+// the leader (0 selects 1024, negative disables the lag gate); /stats and
+// /metrics report the replication position (quasii_repl_lag_records,
+// quasii_repl_lag_seconds). Failover: POST /repl/promote stops tailing,
+// checkpoints the applied state and flips the follower writable — or
+// restart the process with -role leader over the same -data-dir. A
+// follower also serves /repl/* itself, so replicas can chain.
 //
 //	POST /query    {"min":[x,y,z],"max":[x,y,z]}             range query
 //	GET  /query?min=x,y,z&max=x,y,z                          curl-friendly form
@@ -36,28 +65,33 @@
 //	POST /insert   {"objects":[{"id":7,"min":...,"max":...}]} live insert
 //	POST /delete   {"id":7,"hint":{...}}                     live delete
 //	POST /snapshot                                           checkpoint now
+//	GET  /repl/snapshot                                      replication bootstrap stream
+//	GET  /repl/wal?from=N&wait=ms                            replication WAL tail
+//	POST /repl/promote                                       promote this follower
 //	GET  /stats                                              metrics and engine state
 //	GET  /metrics                                            Prometheus text exposition
 //	GET  /debug/slowlog                                      sampled slow-query traces
 //	GET  /debug/index                                        hierarchy snapshot (?maxdepth=N)
 //	GET  /debug/heat                                         tile×depth heat grid
 //	GET  /healthz                                            liveness
-//	GET  /readyz                                             readiness (503 while loading)
+//	GET  /readyz                                             readiness (503 while loading or lagging)
 //
-// The listener binds before the dataset is built or restored: /healthz
-// answers 200 immediately (the process is alive) while /readyz and every
-// other endpoint answer 503 until the index is loaded — so an orchestrator
-// probing /readyz never routes traffic into a warm restart's replay window.
+// The listener binds before the dataset is built, restored or replicated:
+// /healthz answers 200 immediately (the process is alive) while /readyz and
+// every other endpoint answer 503 until the index is loaded — so an
+// orchestrator probing /readyz never routes traffic into a warm restart's
+// replay window or a follower's bootstrap.
 //
 // /metrics exposes the full quasii_* registry — per-endpoint latency
 // histograms, the shard engine's shared-vs-cracking path split, the
-// convergence counters (slices refined, shared-path ratio), and with
-// -data-dir the WAL/checkpoint series. -trace-sample N samples one request
-// in N for per-stage tracing; sampled requests slower than -slow-threshold
-// land in the /debug/slowlog ring. -heat-sample N records per-slice access
-// heat for one query in N (negative disables), feeding /debug/index and
-// /debug/heat. /metrics and the /debug endpoints answer outside admission
-// control, so they keep working while the server sheds load with 429s.
+// convergence counters (slices refined, shared-path ratio), with -data-dir
+// the WAL/checkpoint series, and the quasii_repl_* replication series.
+// -trace-sample N samples one request in N for per-stage tracing; sampled
+// requests slower than -slow-threshold land in the /debug/slowlog ring.
+// -heat-sample N records per-slice access heat for one query in N (negative
+// disables), feeding /debug/index and /debug/heat. /metrics and the /debug
+// endpoints answer outside admission control, so they keep working while
+// the server sheds load with 429s.
 //
 // Logs are structured (log/slog) on stderr: -log-format selects text or
 // json, -log-level selects debug, info, warn or error. stdout stays clean —
@@ -87,6 +121,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -135,9 +170,10 @@ func newLogger(level, format string) (*slog.Logger, error) {
 	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 }
 
-// bootHandler answers while the index is still building or restoring:
-// liveness says the process is up, everything else says come back later.
-// The 503s carry Retry-After so impatient clients back off politely.
+// bootHandler answers while the index is still building, restoring or
+// replicating: liveness says the process is up, everything else says come
+// back later. The 503s carry Retry-After so impatient clients back off
+// politely.
 func bootHandler(phase string) http.Handler {
 	status := func(code int) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
@@ -176,6 +212,18 @@ func main() {
 		"background WAL sync cadence with -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", 100000,
 		"write a snapshot and truncate the WAL after this many accepted updates (0 = manual only)")
+	retain := flag.Int("retain", 2,
+		"snapshot+WAL generations kept on disk after a checkpoint (minimum 2)")
+	walRetries := flag.Int("wal-retries", 3,
+		"transient WAL append retries before the store degrades to read-only (negative disables)")
+	recoverEvery := flag.Duration("recover-every", 5*time.Second,
+		"cadence at which a degraded store re-probes the disk for recovery")
+	role := flag.String("role", "",
+		"replication role: leader, follower or standalone (default: follower with -replicate-from, else leader with -data-dir, else standalone)")
+	replicateFrom := flag.String("replicate-from", "",
+		"leader base URL to replicate from (follower mode; requires -data-dir)")
+	maxLag := flag.Int64("max-lag", 0,
+		"follower /readyz catch-up bound in WAL records (0 = default 1024, negative disables)")
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof on this address (e.g. :6060); empty disables")
 	traceSample := flag.Int("trace-sample", 64,
@@ -197,6 +245,49 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Resolve the replication role: an explicit -role wins; otherwise
+	// -replicate-from selects follower, -data-dir selects leader (a durable
+	// server can always ship its WAL) and a memory-only server stands alone.
+	resolvedRole := *role
+	if resolvedRole == "" {
+		switch {
+		case *replicateFrom != "":
+			resolvedRole = "follower"
+		case *dataDir != "":
+			resolvedRole = "leader"
+		default:
+			resolvedRole = "standalone"
+		}
+	}
+	switch resolvedRole {
+	case "follower":
+		if *replicateFrom == "" {
+			logger.Error("-role follower requires -replicate-from")
+			os.Exit(2)
+		}
+		if *dataDir == "" {
+			logger.Error("-role follower requires -data-dir (the follower keeps its own durable store)")
+			os.Exit(2)
+		}
+		if *dumpMetrics {
+			logger.Error("-dump-metrics cannot run in follower role (it would need a live leader); use leader or standalone")
+			os.Exit(2)
+		}
+	case "leader":
+		if *dataDir == "" {
+			logger.Error("-role leader requires -data-dir (replication ships the snapshot and WAL)")
+			os.Exit(2)
+		}
+	case "standalone":
+		if *replicateFrom != "" {
+			logger.Error("-replicate-from conflicts with -role standalone")
+			os.Exit(2)
+		}
+	default:
+		logger.Error("unknown -role", "role", *role, "want", "leader, follower or standalone")
+		os.Exit(2)
+	}
+
 	buildData := func() []quasii.Object {
 		switch *datasetName {
 		case "uniform":
@@ -210,12 +301,16 @@ func main() {
 	}
 
 	// Bind the listener before the long part (dataset build, snapshot
-	// restore, WAL replay): the boot handler answers /healthz 200 and
-	// everything else 503 until the real service swaps in, so orchestrators
-	// see a live-but-not-ready process instead of connection refused.
+	// restore, WAL replay, replication bootstrap): the boot handler answers
+	// /healthz 200 and everything else 503 until the real service swaps in,
+	// so orchestrators see a live-but-not-ready process instead of
+	// connection refused.
 	phase := "building"
 	if *dataDir != "" {
 		phase = "restoring"
+	}
+	if resolvedRole == "follower" {
+		phase = "replicating"
 	}
 	var handler atomic.Value // http.Handler: bootHandler, then Server.Handler
 	handler.Store(bootHandler(phase))
@@ -234,37 +329,120 @@ func main() {
 			os.Exit(1)
 		}
 		go func() { serveErr <- httpServer.Serve(ln) }()
-		logger.Info("listening", "addr", ln.Addr().String(), "phase", phase)
+		logger.Info("listening", "addr", ln.Addr().String(), "phase", phase, "role", resolvedRole)
 	}
 
 	shardCfg := quasii.ShardedConfig{Shards: *shards, Workers: *workers}
 	shardCfg.SubConfig.HeatSampleEvery = *heatSample
-	var ix *quasii.Sharded
-	var store *quasii.Store
-	t0 := time.Now()
+	storeCfg := quasii.StoreConfig{
+		Shard:             shardCfg,
+		Fsync:             quasii.FsyncPolicy(*fsync),
+		FsyncEvery:        *fsyncInterval,
+		CheckpointEvery:   *checkpointEvery,
+		AppendRetries:     *walRetries,
+		RecoverEvery:      *recoverEvery,
+		RetainGenerations: *retain,
+		Logger:            logger,
+	}
 	if *dataDir != "" {
-		policy := quasii.FsyncPolicy(*fsync)
-		switch policy {
+		switch storeCfg.Fsync {
 		case quasii.FsyncAlways, quasii.FsyncInterval, quasii.FsyncNever:
 		default:
 			logger.Error("unknown -fsync policy", "fsync", *fsync, "want", "always, interval or never")
 			os.Exit(2)
 		}
-		var err error
-		store, err = quasii.OpenStore(*dataDir, quasii.StoreConfig{
-			Shard:           shardCfg,
-			Bootstrap:       buildData,
-			Fsync:           policy,
-			FsyncEvery:      *fsyncInterval,
-			CheckpointEvery: *checkpointEvery,
-			Logger:          logger,
+	}
+
+	// One registry serves the whole process across every role and every
+	// state swap: the server instruments itself and the engine on it, the
+	// durable store's WAL/checkpoint series join it, and the full
+	// quasii_repl_* family is registered up front regardless of role so
+	// dashboards and the metrics lint see one stable name set.
+	reg := quasii.NewMetricsRegistry()
+	replMetrics := quasii.NewReplMetrics(reg)
+
+	serverCfg := quasii.ServerConfig{
+		BatchWindow:      *batchWindow,
+		BatchLimit:       *batchLimit,
+		MaxInFlight:      *maxInFlight,
+		ExecSlots:        *execSlots,
+		FlushEvery:       *flushEvery,
+		TraceSampleEvery: *traceSample,
+		SlowThreshold:    *slowThreshold,
+		SlowlogSize:      *slowlogSize,
+		Telemetry:        reg,
+		Logger:           logger,
+	}
+
+	// buildServer wires the service for the current state. In follower mode
+	// it runs again after a re-bootstrap replaces the store (re-registration
+	// on the shared registry returns the existing series, so /metrics stays
+	// continuous); every durable server also carries the leader endpoints so
+	// replicas can bootstrap from it — and chain through a follower.
+	var curServer atomic.Pointer[quasii.Server]
+	var curFollower atomic.Pointer[quasii.ReplFollower]
+	buildServer := func(ix *quasii.Sharded, store *quasii.Store) *quasii.Server {
+		cfg := serverCfg
+		if store != nil {
+			cfg.Durability = store
+			cfg.ReplSource = quasii.NewReplLeader(store, replMetrics, logger)
+		}
+		if f := curFollower.Load(); f != nil {
+			cfg.ReplFollower = f
+			cfg.MaxLagRecords = *maxLag
+		}
+		s := quasii.NewServer(ix, cfg)
+		if store != nil {
+			store.Instrument(reg)
+		}
+		curServer.Store(s)
+		return s
+	}
+
+	var ix *quasii.Sharded
+	var store *quasii.Store
+	t0 := time.Now()
+	switch {
+	case resolvedRole == "follower":
+		// SIGTERM/SIGINT during the bootstrap fetch aborts cleanly; the
+		// follower otherwise retries with backoff until the leader appears,
+		// so the two sides can be started in either order.
+		bootCtx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+		fol, err := quasii.OpenReplFollower(bootCtx, quasii.ReplFollowerConfig{
+			LeaderURL: strings.TrimRight(*replicateFrom, "/"),
+			Dir:       *dataDir,
+			Store:     storeCfg,
+			Logger:    logger,
+			Metrics:   replMetrics,
+			OnStateSwap: func(st *quasii.Store) {
+				// The leader could no longer serve our resume point and the
+				// follower re-bootstrapped onto a fresh store: re-wire the
+				// service onto it and swap the handler atomically.
+				s := buildServer(st.Index(), st)
+				handler.Store(s.Handler())
+				logger.Info("service re-wired onto re-bootstrapped state",
+					"objects", st.Index().Len())
+			},
 		})
+		stopSig()
+		if err != nil {
+			logger.Error("opening follower failed", "leader", *replicateFrom, "err", err)
+			os.Exit(1)
+		}
+		curFollower.Store(fol)
+		store = fol.Store()
+		ix = store.Index()
+	case *dataDir != "":
+		cfg := storeCfg
+		cfg.Bootstrap = buildData
+		var err error
+		store, err = quasii.OpenStore(*dataDir, cfg)
 		if err != nil {
 			logger.Error("opening data dir failed", "dir", *dataDir, "err", err)
 			os.Exit(1)
 		}
 		ix = store.Index()
-	} else {
+	default:
 		data := buildData()
 		ix = quasii.NewSharded(data, shardCfg)
 		logger.Info("index built",
@@ -284,27 +462,7 @@ func main() {
 		}()
 	}
 
-	serverCfg := quasii.ServerConfig{
-		BatchWindow:      *batchWindow,
-		BatchLimit:       *batchLimit,
-		MaxInFlight:      *maxInFlight,
-		ExecSlots:        *execSlots,
-		FlushEvery:       *flushEvery,
-		TraceSampleEvery: *traceSample,
-		SlowThreshold:    *slowThreshold,
-		SlowlogSize:      *slowlogSize,
-		Logger:           logger,
-	}
-	if store != nil {
-		serverCfg.Durability = store
-	}
-	s := quasii.NewServer(ix, serverCfg)
-	if store != nil {
-		// One registry serves the whole process: the server instruments
-		// itself and the engine in NewServer, the durable store (WAL and
-		// checkpoint series) joins the same scrape here.
-		store.Instrument(s.Registry())
-	}
+	s := buildServer(ix, store)
 
 	if *dumpMetrics {
 		if err := s.Registry().WriteText(os.Stdout); err != nil {
@@ -321,18 +479,20 @@ func main() {
 	}
 
 	// The index is loaded: swap the real service in. Its /readyz answers
-	// ready from here on (Server starts ready; the boot handler supplied
-	// the 503s until this instant).
+	// from here on (Server starts ready; a follower's /readyz still answers
+	// 503 until it is within -max-lag records of the leader).
 	handler.Store(s.Handler())
 	logger.Info("serving",
-		"addr", *addr, "objects", ix.Len(), "shards", ix.NumShards(),
+		"addr", *addr, "role", resolvedRole, "objects", ix.Len(), "shards", ix.NumShards(),
 		"batch_window", batchWindow.String(), "batch_limit", *batchLimit,
 		"max_inflight", *maxInFlight, "flush_every", *flushEvery,
 		"elapsed_ms", time.Since(t0).Milliseconds())
 
 	// Graceful shutdown: SIGTERM/SIGINT flips readiness off (load balancers
 	// stop routing), stops accepting requests, drains in-flight ones, then
-	// checkpoints so the next start is a warm restart with no WAL replay.
+	// checkpoints so the next start is a warm restart with no WAL replay. A
+	// follower stops tailing first; its store close checkpoints the applied
+	// state, so its restart resumes from local disk.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	done := make(chan struct{})
@@ -340,13 +500,19 @@ func main() {
 		defer close(done)
 		sig := <-sigCh
 		logger.Info("shutting down", "signal", sig.String())
-		s.SetReady(false)
+		curServer.Load().SetReady(false)
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpServer.Shutdown(ctx); err != nil {
 			logger.Error("shutdown failed", "err", err)
 		}
-		if store != nil {
+		if f := curFollower.Load(); f != nil {
+			if err := f.Close(); err != nil {
+				logger.Error("closing follower failed", "err", err)
+				os.Exit(1)
+			}
+			logger.Info("follower state closed")
+		} else if store != nil {
 			if err := store.Close(); err != nil {
 				logger.Error("final snapshot failed", "err", err)
 				os.Exit(1)

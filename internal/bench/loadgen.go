@@ -70,8 +70,46 @@ type LoadgenConfig struct {
 	// server replays its WAL before it listens. The run proceeds (and
 	// fails fast) if the deadline passes without a 200.
 	WaitReady time.Duration
+	// ReadPool, when non-nil, fans range queries across a live set of base
+	// URLs (leader plus read replicas) instead of BaseURL. The pool is
+	// consulted again on every retry attempt, so when a replica dies — or
+	// the failover harness shrinks the pool mid-run — the retried request
+	// lands on a survivor. Writes always go to BaseURL: replicas are
+	// read-only until promoted.
+	ReadPool *URLPool
 	// Client overrides the HTTP client (nil selects a pooled default).
 	Client *http.Client
+}
+
+// URLPool is a mutable, concurrency-safe set of server base URLs the read
+// side of a load-generation run fans over. Set replaces the whole set
+// atomically; in-flight requests pick up the new membership on their next
+// attempt.
+type URLPool struct {
+	urls atomic.Value // []string, never empty once constructed
+	ctr  atomic.Uint64
+}
+
+// NewURLPool builds a pool over the given base URLs (at least one).
+func NewURLPool(urls ...string) *URLPool {
+	p := &URLPool{}
+	p.Set(urls...)
+	return p
+}
+
+// Set atomically replaces the pool membership (no-op on an empty set: a
+// pool must always have somewhere to send reads).
+func (p *URLPool) Set(urls ...string) {
+	if len(urls) == 0 {
+		return
+	}
+	p.urls.Store(append([]string(nil), urls...))
+}
+
+// Pick returns the next base URL round-robin.
+func (p *URLPool) Pick() string {
+	urls := p.urls.Load().([]string)
+	return urls[p.ctr.Add(1)%uint64(len(urls))]
 }
 
 // LoadgenResult aggregates one run.
@@ -140,7 +178,13 @@ func (lc *loadgenClient) post(path string, body, out interface{}) bool {
 		maxRetries = 100
 	}
 	for attempt := 0; ; attempt++ {
-		resp, err := lc.client.Post(lc.cfg.BaseURL+path, "application/json", bytes.NewReader(buf))
+		base := lc.cfg.BaseURL
+		if lc.cfg.ReadPool != nil && path == "/query" {
+			// Re-picked every attempt: a retry after a replica died routes
+			// to whichever servers the pool holds now.
+			base = lc.cfg.ReadPool.Pick()
+		}
+		resp, err := lc.client.Post(base+path, "application/json", bytes.NewReader(buf))
 		if err != nil {
 			// Chaos mode: the server may be down for a restart window, so a
 			// refused connection is expected traffic weather, not a failure.

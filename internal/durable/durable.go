@@ -106,6 +106,11 @@ type Options struct {
 	// disk (by attempting a checkpoint to a fresh generation) to discover
 	// the fault has cleared. 0 selects 5s.
 	RecoverEvery time.Duration
+	// RetainGenerations keeps that many snapshot+WAL generations on disk
+	// (a checkpoint garbage-collects older ones). Minimum and default 2:
+	// a bootstrapping follower must always be able to stream a stable
+	// generation while a new checkpoint lands underneath it.
+	RetainGenerations int
 }
 
 // Store is a durable sharded index. Queries go straight to Index() — the
@@ -137,6 +142,20 @@ type Store struct {
 	// ckptMu serializes whole checkpoints (the updMu exclusive section is
 	// only part of one).
 	ckptMu sync.Mutex
+
+	// Replication bookkeeping (see repl.go): nextSeq is the global
+	// sequence the next accepted record will carry; genStart maps each
+	// retained generation to its start sequence; genPins blocks GC of
+	// generations a replication stream is reading. genMu is only ever
+	// taken inside updMu (either side), never the other way around.
+	nextSeq  atomic.Uint64
+	genMu    sync.Mutex
+	genStart map[uint64]uint64
+	genPins  map[uint64]int
+	// notifyCh is closed-and-replaced on every accepted record — the
+	// broadcast behind UpdateNotify (long-polling WAL followers).
+	notifyMu sync.Mutex
+	notifyCh chan struct{}
 
 	updates   atomic.Int64 // accepted update ops since the last checkpoint
 	ckptGate  atomic.Bool  // an automatic checkpoint is in flight
@@ -211,6 +230,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.degradedReason.Store("")
 	s.recStop = make(chan struct{})
+	s.genStart = make(map[uint64]uint64)
+	s.genPins = make(map[uint64]int)
+	s.notifyCh = make(chan struct{})
 	s.logger = opts.Logger
 	if s.logger == nil {
 		s.logger = slog.New(slog.DiscardHandler)
@@ -222,6 +244,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	if !ok {
+		// The bootstrap dataset lives in snapshot 1, not the WAL, so it
+		// consumes no sequence numbers: the first logged record is seq 1.
+		s.nextSeq.Store(1)
 		if err := s.bootstrap(); err != nil {
 			return nil, err
 		}
@@ -245,6 +270,17 @@ func Open(dir string, opts Options) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("replaying wal %d: %w", seq, err)
 		}
+		if err := s.scanGenerations(); err != nil {
+			return nil, fmt.Errorf("scanning generations: %w", err)
+		}
+		startSeq := s.genStart[seq]
+		if startSeq == 0 {
+			// CURRENT names a generation the scan rejected — nothing to
+			// serve replication from, but the store itself is intact.
+			startSeq = 1
+			s.genStart[seq] = 1
+		}
+		s.nextSeq.Store(startSeq + uint64(replayed))
 		s.restoreSeq = seq
 		s.restoreReplayed = int64(replayed)
 		s.restoreSeconds = time.Since(start).Seconds()
@@ -365,10 +401,17 @@ func (s *Store) Insert(objs ...geom.Object) error {
 	err := s.appendRetry(func() error { return s.log.AppendInsert(objs) })
 	logged := err == nil
 	if logged {
+		// The record is durable: it owns the next global sequence number
+		// whether or not the in-memory apply below succeeds (replay and
+		// replication both serve from the log, not the index).
+		s.nextSeq.Add(1)
 		err = s.ix.Insert(objs...)
 	}
 	s.opMu.Unlock()
 	s.updMu.RUnlock()
+	if logged {
+		s.broadcastUpdate()
+	}
 	if err == nil {
 		s.noteUpdate()
 		return nil
@@ -395,10 +438,14 @@ func (s *Store) Delete(id int32, hint geom.Box) (bool, error) {
 	logged := err == nil
 	var found bool
 	if logged {
+		s.nextSeq.Add(1)
 		found, err = s.ix.Delete(id, hint)
 	}
 	s.opMu.Unlock()
 	s.updMu.RUnlock()
+	if logged {
+		s.broadcastUpdate()
+	}
 	if err == nil {
 		s.noteUpdate()
 		return found, nil
@@ -564,13 +611,14 @@ func (s *Store) checkpointLocked() (uint64, error) {
 		s.mCkptFailures.Inc()
 		return 0, err
 	}
-	// Retire the old generation. Failures here are cosmetic (the old files
-	// are simply dead weight), so they are not surfaced.
+	// Retire generations beyond the retention window (keeping at least the
+	// previous one so a bootstrapping follower can finish streaming it).
+	// Failures here are cosmetic (the old files are simply dead weight), so
+	// they are not surfaced.
 	if oldLog != nil {
 		oldLog.Close()
 	}
-	s.fs.RemoveAll(filepath.Join(s.dir, snapDirName(s.seq-1)))
-	s.fs.Remove(filepath.Join(s.dir, walName(s.seq-1)))
+	s.gcGenerations()
 	s.updates.Store(0)
 	elapsed := time.Since(start)
 	s.ckptCount.Add(1)
@@ -611,6 +659,14 @@ func (s *Store) rotateTo(newSeq uint64) error {
 		s.fs.RemoveAll(tmp)
 		return err
 	}
+	// Persist the generation's start sequence alongside the shard files so
+	// a follower restoring this snapshot knows where its WAL tail begins.
+	// No update can land mid-rotation (the caller holds updMu exclusively),
+	// so nextSeq is exact.
+	if err := writeReplMeta(s.fs, tmp, s.nextSeq.Load()); err != nil {
+		s.fs.RemoveAll(tmp)
+		return err
+	}
 	if err := s.fs.RemoveAll(final); err != nil {
 		return err
 	}
@@ -634,6 +690,7 @@ func (s *Store) rotateTo(newSeq uint64) error {
 	}
 	s.log = log
 	s.seq = newSeq
+	s.registerGen(newSeq, s.nextSeq.Load())
 	return nil
 }
 

@@ -165,12 +165,25 @@ func TestCheckpointTruncatesWAL(t *testing.T) {
 	if store.WALSize() != 0 {
 		t.Fatalf("WAL size %d after checkpoint, want 0", store.WALSize())
 	}
-	// The previous generation is gone.
+	// The previous generation stays within the retention window (default
+	// keeps the last 2, so a bootstrapping follower can finish streaming
+	// it)...
+	if _, err := os.Stat(filepath.Join(dir, snapDirName(1))); err != nil {
+		t.Fatalf("generation 1 should be retained after one checkpoint: %v", err)
+	}
+	// ...and a second checkpoint pushes it out: only generations 2 and 3
+	// remain.
+	if _, err := store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := os.Stat(filepath.Join(dir, snapDirName(1))); !os.IsNotExist(err) {
-		t.Fatalf("old snapshot dir still present: %v", err)
+		t.Fatalf("generation 1 snapshot still present after falling out of retention: %v", err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, walName(1))); !os.IsNotExist(err) {
-		t.Fatalf("old wal still present: %v", err)
+		t.Fatalf("generation 1 wal still present after falling out of retention: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapDirName(2))); err != nil {
+		t.Fatalf("generation 2 should be retained: %v", err)
 	}
 	if err := store.Close(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,75 @@
+package repl
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Metrics is the replication instrumentation, shared by both roles so a
+// single registration covers every series regardless of how the process
+// started (a leader's lag gauges just stay 0, a pure follower's stream
+// counters likewise). All fields no-op when the struct or a field is nil.
+type Metrics struct {
+	// Follower side.
+	LagRecords *telemetry.Gauge   // records behind the leader's next sequence
+	Applied    *telemetry.Counter // records applied from the leader
+	Reconnects *telemetry.Counter // failed fetches that triggered backoff
+	Bootstraps *telemetry.Counter // full snapshot bootstraps (initial + re-)
+	Promotions *telemetry.Counter // follower → leader promotions
+
+	// Leader side.
+	SnapshotStreams *telemetry.Counter // /repl/snapshot responses served
+	WALStreams      *telemetry.Counter // /repl/wal 200 responses served
+	ShippedRecords  *telemetry.Counter // WAL frames shipped to followers
+
+	// FaultsInjected counts replication-transport faults delivered by a
+	// FaultTransport (the link-level analogue of quasii_fault_injected_total).
+	FaultsInjected *telemetry.Counter
+
+	// lagSecondsBits backs the quasii_repl_lag_seconds gauge: float64 bits
+	// of "seconds since this follower was last fully caught up" (0 while
+	// caught up), set by the follower's lag bookkeeping.
+	lagSecondsBits atomic.Uint64
+}
+
+// SetLagSeconds publishes the lag-age gauge.
+func (m *Metrics) SetLagSeconds(v float64) {
+	if m == nil {
+		return
+	}
+	m.lagSecondsBits.Store(math.Float64bits(v))
+}
+
+// NewMetrics registers the full replication family on reg. Nil reg returns
+// nil, which every consumer tolerates.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &Metrics{
+		LagRecords: reg.Gauge("quasii_repl_lag_records",
+			"Records the follower is behind the leader's next sequence (0 when caught up or not a follower)."),
+		Applied: reg.Counter("quasii_repl_applied_total",
+			"WAL records applied from the replication stream."),
+		Reconnects: reg.Counter("quasii_repl_reconnects_total",
+			"Replication fetches that failed and entered backoff."),
+		Bootstraps: reg.Counter("quasii_repl_bootstraps_total",
+			"Full snapshot bootstraps performed by the follower (initial and recovery)."),
+		Promotions: reg.Counter("quasii_repl_promotions_total",
+			"Follower-to-leader promotions."),
+		SnapshotStreams: reg.Counter("quasii_repl_snapshot_streams_total",
+			"Snapshot archives streamed to bootstrapping followers."),
+		WALStreams: reg.Counter("quasii_repl_wal_streams_total",
+			"WAL record streams served to tailing followers."),
+		ShippedRecords: reg.Counter("quasii_repl_shipped_records_total",
+			"WAL records shipped to followers."),
+		FaultsInjected: reg.Counter("quasii_repl_fault_injected_total",
+			"Replication-transport faults injected by the test fault transport."),
+	}
+	reg.GaugeFunc("quasii_repl_lag_seconds",
+		"Seconds since the follower was last fully caught up (0 while caught up or not a follower).",
+		func() float64 { return math.Float64frombits(m.lagSecondsBits.Load()) })
+	return m
+}

@@ -1,0 +1,212 @@
+package repl
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultKind names a replication-link failure mode — the transport-level
+// analogue of faultfs's write faults. Every kind a real network exhibits
+// at the granularity the protocol must survive: requests that never
+// arrive, requests that hang until the client times out, bodies cut mid-
+// frame, and bytes flipped in flight.
+type FaultKind int
+
+const (
+	// FaultError fails the request outright (connection refused/reset).
+	FaultError FaultKind = iota
+	// FaultStall sleeps Delay then fails — exercising the per-request
+	// timeout (a stall longer than the client timeout surfaces as
+	// context.DeadlineExceeded, exactly like a partitioned peer).
+	FaultStall
+	// FaultTruncate delivers only Bytes of the response body, then EOF:
+	// a torn stream. Frames after the cut must be re-fetched, never
+	// half-applied.
+	FaultTruncate
+	// FaultCorrupt flips one bit of the body byte at offset Bytes:
+	// payload corruption the per-frame CRCs must catch.
+	FaultCorrupt
+)
+
+// FaultRule matches requests and names the fault to deliver. Matching and
+// firing mirror faultfs.Rule: a Path substring filter, then Every / Prob /
+// Times gating, all driven by the transport's seeded generator so runs are
+// reproducible.
+type FaultRule struct {
+	// Path substring the request URL path must contain ("" matches all).
+	Path string
+	Kind FaultKind
+	// Every fires on every Nth matching request (1 = all); when 0, Prob
+	// fires randomly with that probability.
+	Every int
+	Prob  float64
+	// Times bounds total firings (0 = unlimited).
+	Times int
+	// Bytes is the truncate-after length (FaultTruncate) or corrupt-at
+	// offset (FaultCorrupt).
+	Bytes int64
+	// Delay is the stall duration (FaultStall).
+	Delay time.Duration
+}
+
+type faultRuleState struct {
+	FaultRule
+	matches int
+	fired   int
+}
+
+// FaultTransport wraps an http.RoundTripper with deterministic, seeded
+// fault injection on the replication link. Safe for concurrent use.
+type FaultTransport struct {
+	under    http.RoundTripper
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    []*faultRuleState
+	injected atomic.Int64
+	m        *Metrics
+}
+
+// NewFaultTransport wraps under (nil selects http.DefaultTransport) with
+// the given rules, driven by a deterministic generator seeded with seed.
+func NewFaultTransport(under http.RoundTripper, seed int64, rules ...FaultRule) *FaultTransport {
+	if under == nil {
+		under = http.DefaultTransport
+	}
+	t := &FaultTransport{under: under, rng: rand.New(rand.NewSource(seed))}
+	for i := range rules {
+		t.rules = append(t.rules, &faultRuleState{FaultRule: rules[i]})
+	}
+	return t
+}
+
+// SetMetrics attaches a counter that moves with Injected().
+func (t *FaultTransport) SetMetrics(m *Metrics) {
+	t.mu.Lock()
+	t.m = m
+	t.mu.Unlock()
+}
+
+// Injected reports how many faults have been delivered.
+func (t *FaultTransport) Injected() int64 { return t.injected.Load() }
+
+// pick returns the first rule that fires for this request, if any.
+func (t *FaultTransport) pick(path string) *faultRuleState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.rules {
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.matches++
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		fire := false
+		if r.Every > 0 {
+			fire = r.matches%r.Every == 0
+		} else if r.Prob > 0 {
+			fire = t.rng.Float64() < r.Prob
+		}
+		if fire {
+			r.fired++
+			return r
+		}
+	}
+	return nil
+}
+
+func (t *FaultTransport) note() {
+	t.injected.Add(1)
+	t.mu.Lock()
+	m := t.m
+	t.mu.Unlock()
+	if m != nil {
+		m.FaultsInjected.Inc()
+	}
+}
+
+// RoundTrip delivers the request, or the fault a rule selected.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	r := t.pick(req.URL.Path)
+	if r == nil {
+		return t.under.RoundTrip(req)
+	}
+	switch r.Kind {
+	case FaultError:
+		t.note()
+		return nil, fmt.Errorf("repl fault injected: connection error on %s", req.URL.Path)
+	case FaultStall:
+		t.note()
+		timer := time.NewTimer(r.Delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			return nil, fmt.Errorf("repl fault injected: stall on %s", req.URL.Path)
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	case FaultTruncate:
+		resp, err := t.under.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		t.note()
+		resp.Body = &truncateBody{rc: resp.Body, remain: r.Bytes}
+		resp.ContentLength = -1
+		return resp, nil
+	case FaultCorrupt:
+		resp, err := t.under.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		t.note()
+		resp.Body = &corruptBody{rc: resp.Body, at: r.Bytes}
+		return resp, nil
+	}
+	return t.under.RoundTrip(req)
+}
+
+// truncateBody delivers remain bytes then reports EOF, simulating a
+// connection cut mid-stream.
+type truncateBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (b *truncateBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= int64(n)
+	return n, err
+}
+
+func (b *truncateBody) Close() error { return b.rc.Close() }
+
+// corruptBody flips one bit of the byte at offset at.
+type corruptBody struct {
+	rc  io.ReadCloser
+	at  int64
+	off int64
+}
+
+func (b *corruptBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	if n > 0 && b.at >= b.off && b.at < b.off+int64(n) {
+		p[b.at-b.off] ^= 0x40
+	}
+	b.off += int64(n)
+	return n, err
+}
+
+func (b *corruptBody) Close() error { return b.rc.Close() }

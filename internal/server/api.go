@@ -140,11 +140,36 @@ type RuntimeInfo struct {
 }
 
 // HealthResponse answers /healthz (liveness: the process accepts requests).
+// Role is the replication role: "standalone", "leader", or "follower".
 type HealthResponse struct {
 	Status  string      `json:"status"`
 	Objects int         `json:"objects"`
 	Shards  int         `json:"shards"`
+	Role    string      `json:"role"`
 	Runtime RuntimeInfo `json:"runtime"`
+}
+
+// ReplInfo reports the replication position of a follower-mode server on
+// /readyz and /stats. AppliedSeq is the last global WAL sequence applied
+// locally; LeaderSeq the leader's next sequence as of the last response;
+// LagRecords/LagSeconds the distance between them (records behind, and
+// seconds since last fully caught up). Writable flips true at promotion.
+type ReplInfo struct {
+	Role         string  `json:"role"`
+	LeaderURL    string  `json:"leader_url"`
+	AppliedSeq   uint64  `json:"applied_seq"`
+	LeaderSeq    uint64  `json:"leader_seq"`
+	LagRecords   int64   `json:"lag_records"`
+	LagSeconds   float64 `json:"lag_seconds"`
+	Bootstrapped bool    `json:"bootstrapped"`
+	Writable     bool    `json:"writable"`
+}
+
+// PromoteResponse answers POST /repl/promote: the sequence of the
+// promotion checkpoint and the server's new role.
+type PromoteResponse struct {
+	Seq  uint64 `json:"seq"`
+	Role string `json:"role"`
 }
 
 // RecoveryInfo reports where the running index came from: the snapshot it
@@ -168,6 +193,9 @@ type ReadyResponse struct {
 	Degraded       bool          `json:"degraded,omitempty"`
 	DegradedReason string        `json:"degraded_reason,omitempty"`
 	Recovery       *RecoveryInfo `json:"recovery,omitempty"`
+	// Repl is present in follower mode: the probe answers 503 while the
+	// follower is bootstrapping or lagging past the configured bound.
+	Repl *ReplInfo `json:"repl,omitempty"`
 }
 
 // EndpointStats is the per-endpoint slice of /stats: request counts and the
@@ -234,10 +262,13 @@ type DurabilityStats struct {
 	LastCheckpointSeconds float64 `json:"last_checkpoint_seconds"`
 }
 
-// StatsResponse answers GET /stats.
+// StatsResponse answers GET /stats. Role is the replication role; Repl is
+// present in follower mode.
 type StatsResponse struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Runtime       RuntimeInfo              `json:"runtime"`
+	Role          string                   `json:"role"`
+	Repl          *ReplInfo                `json:"repl,omitempty"`
 	Index         IndexStats               `json:"index"`
 	Admission     AdmissionStats           `json:"admission"`
 	Batcher       BatcherStats             `json:"batcher"`

@@ -119,6 +119,22 @@ type Config struct {
 	// them — the library stays silent unless a caller opts in, and the
 	// handlers never pay for record formatting.
 	Logger *slog.Logger
+	// ReplSource, when non-nil, mounts the replication-leader endpoints
+	// (GET /repl/snapshot, GET /repl/wal) outside admission control —
+	// replica catch-up must work while the server sheds query load.
+	// internal/repl.Leader satisfies it.
+	ReplSource ReplSource
+	// ReplFollower, when non-nil, puts the server in follower mode: writes
+	// answer 503 with a leader hint until the follower is promoted
+	// (POST /repl/promote), /readyz gates on replication lag, and /stats,
+	// /healthz report the replication role. internal/repl.Follower
+	// satisfies it.
+	ReplFollower ReplFollower
+	// MaxLagRecords is the /readyz catch-up bound in follower mode: the
+	// probe answers 503 while the follower is more than this many records
+	// behind the leader. 0 selects 1024; negative disables lag gating
+	// (bootstrap completion still gates).
+	MaxLagRecords int64
 }
 
 // Durability is the optional persistence hook behind the serving layer:
@@ -156,6 +172,33 @@ type DurabilityRecoverer interface {
 // and turns writes into 503 + Retry-After.
 type DurabilityDegrader interface {
 	Degraded() (degraded bool, reason string)
+}
+
+// ReplSource serves the replication-leader side: streaming the live
+// checkpoint generation and WAL records to followers. The handlers own the
+// full request (query parsing, long-poll semantics, status codes); the
+// server contributes routing, method filtering, and metrics.
+type ReplSource interface {
+	ServeSnapshot(http.ResponseWriter, *http.Request)
+	ServeWAL(http.ResponseWriter, *http.Request)
+}
+
+// ReplFollower is the follower-mode probe and control surface. The tuple
+// returns keep this package decoupled from internal/repl, matching the
+// Durability* probes.
+type ReplFollower interface {
+	// ReplProbe reports the replication position: last applied global
+	// sequence, the leader's last observed next sequence, lag in records
+	// and seconds, and whether bootstrap has completed.
+	ReplProbe() (appliedSeq, leaderSeq uint64, lagRecords int64, lagSeconds float64, bootstrapped bool)
+	// Writable reports whether the follower has been promoted; until then
+	// the server answers writes with 503 + the leader hint.
+	Writable() bool
+	// LeaderURL is the leader this follower replicates from (the hint).
+	LeaderURL() string
+	// Promote flips the follower writable (POST /repl/promote), returning
+	// the promotion checkpoint's sequence.
+	Promote() (uint64, error)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -269,7 +312,64 @@ func New(ix *shard.Index, cfg Config) *Server {
 	// their shard walk rides the read path like a /metrics scrape.
 	s.route("/debug/index", false, []string{http.MethodGet}, s.handleDebugIndex)
 	s.route("/debug/heat", false, []string{http.MethodGet}, s.handleDebugHeat)
+	// Replication stays outside admission: a follower catching up (or a
+	// long-polling tail) must not compete with — or be shed alongside —
+	// query traffic, and /repl/promote is the failover control plane,
+	// needed most exactly when the cluster is in trouble.
+	if cfg.ReplSource != nil {
+		s.route("/repl/snapshot", false, []string{http.MethodGet}, cfg.ReplSource.ServeSnapshot)
+		s.route("/repl/wal", false, []string{http.MethodGet}, cfg.ReplSource.ServeWAL)
+	}
+	if cfg.ReplFollower != nil {
+		s.route("/repl/promote", false, []string{http.MethodPost}, s.handlePromote)
+	}
 	return s
+}
+
+// role names the server's replication role: "follower" until a configured
+// follower is promoted ("leader" afterwards), "leader" when it serves
+// replication without being one, "standalone" otherwise.
+func (s *Server) role() string {
+	if f := s.cfg.ReplFollower; f != nil {
+		if f.Writable() {
+			return "leader"
+		}
+		return "follower"
+	}
+	if s.cfg.ReplSource != nil {
+		return "leader"
+	}
+	return "standalone"
+}
+
+// handlePromote flips a follower writable (POST /repl/promote): replication
+// tailing stops, the applied state is checkpointed to a fresh generation,
+// and writes start answering. Idempotent.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	f := s.cfg.ReplFollower
+	seq, err := f.Promote()
+	if err != nil {
+		s.log.Error("promotion failed", "err", err)
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.log.Info("follower promoted via /repl/promote", "snapshot_seq", seq)
+	writeJSON(w, http.StatusOK, PromoteResponse{Seq: seq, Role: s.role()})
+}
+
+// followerRejectsWrites answers a write reaching an unpromoted follower:
+// 503 + Retry-After (the role can change at any moment via promotion) and
+// the leader's URL so a smart client can redirect itself.
+func (s *Server) followerRejectsWrites(w http.ResponseWriter) bool {
+	f := s.cfg.ReplFollower
+	if f == nil || f.Writable() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set("X-Quasii-Leader", f.LeaderURL())
+	writeJSON(w, http.StatusServiceUnavailable,
+		ErrorResponse{Error: "read-only follower: write to the leader at " + f.LeaderURL()})
+	return true
 }
 
 // SetReady flips the /readyz readiness state. Embedding processes call
@@ -654,6 +754,9 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 
 // handleInsert routes new objects into the engine.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.followerRejectsWrites(w) {
+		return
+	}
 	var req InsertRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		badRequest(w, fmt.Errorf("decoding insert: %w", err))
@@ -709,6 +812,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 
 // handleDelete removes one object.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.followerRejectsWrites(w) {
+		return
+	}
 	var req DeleteRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		badRequest(w, fmt.Errorf("decoding delete: %w", err))
@@ -828,6 +934,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		UptimeSeconds: uptime.Seconds(),
 		Runtime:       runtimeInfo(),
+		Role:          s.role(),
+		Repl:          s.replInfo(),
 		Index: IndexStats{
 			Objects:       st.Objects,
 			Shards:        st.Shards,
@@ -931,8 +1039,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:  "ok",
 		Objects: s.ix.ApproxLen(),
 		Shards:  s.ix.NumShards(),
+		Role:    s.role(),
 		Runtime: runtimeInfo(),
 	})
+}
+
+// replInfo snapshots the follower probe for /stats and /readyz; nil when
+// the server is not in follower mode.
+func (s *Server) replInfo() *ReplInfo {
+	f := s.cfg.ReplFollower
+	if f == nil {
+		return nil
+	}
+	applied, leaderSeq, lagRec, lagSec, boot := f.ReplProbe()
+	return &ReplInfo{
+		Role:         s.role(),
+		LeaderURL:    f.LeaderURL(),
+		AppliedSeq:   applied,
+		LeaderSeq:    leaderSeq,
+		LagRecords:   lagRec,
+		LagSeconds:   lagSec,
+		Bootstrapped: boot,
+		Writable:     f.Writable(),
+	}
+}
+
+// maxLag resolves the configured /readyz catch-up bound.
+func (s *Server) maxLag() int64 {
+	if s.cfg.MaxLagRecords == 0 {
+		return 1024
+	}
+	return s.cfg.MaxLagRecords
 }
 
 // handleReadyz is the readiness probe: 503 until the embedding process has
@@ -962,9 +1099,27 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	// Follower mode gates readiness on catch-up: a replica still
+	// bootstrapping, or lagging past the configured bound, answers 503 so
+	// load balancers stop routing reads to stale state. A promoted
+	// follower is a leader and gates on nothing.
+	if repl := s.replInfo(); repl != nil {
+		resp.Repl = repl
+		if !repl.Writable {
+			if !repl.Bootstrapped {
+				resp.Ready = false
+				resp.Status = "replicating"
+			} else if bound := s.maxLag(); bound >= 0 && repl.LagRecords > bound {
+				resp.Ready = false
+				resp.Status = "lagging"
+			}
+		}
+	}
 	status := http.StatusOK
 	if !resp.Ready {
-		resp.Status = "loading"
+		if resp.Status == "ready" {
+			resp.Status = "loading"
+		}
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, resp)

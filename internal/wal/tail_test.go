@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/geom"
+)
+
+// TestConcurrentTailFaultInjection is the reader/writer contract of live
+// log tailing, table-driven over write-path fault injection: a reader
+// follows the file from frame N using the replication leader's per-request
+// pattern (open, skip N, stream the intact prefix, close) while a writer
+// appends — with faultfs delivering torn writes and ENOSPC underneath the
+// appends. The reader must deliver every record exactly once, in order,
+// with exactly the payload its position implies: a torn prefix on disk may
+// only ever end a read cleanly, never surface as a wrong or duplicated
+// record, because appends self-repair before the acknowledged record
+// lands. Run under -race: reader and writer genuinely race on the file.
+func TestConcurrentTailFaultInjection(t *testing.T) {
+	const records = 150
+	cases := []struct {
+		name  string
+		rules []*faultfs.Rule
+	}{
+		{"clean-link", nil},
+		// Every 7th write persists only a prefix: the torn frame is on disk
+		// until the append's self-repair truncates it back, and the reader
+		// may observe either state.
+		{"torn-writes", []*faultfs.Rule{
+			{Kind: faultfs.KindShortWrite, Op: faultfs.OpWrite, Every: 7},
+		}},
+		// Every 9th write fails with ENOSPC persisting nothing; the writer
+		// retries. The reader must not notice at all.
+		{"enospc", []*faultfs.Rule{
+			{Kind: faultfs.KindENOSPC, Op: faultfs.OpWrite, Every: 9},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal.log")
+			ff := faultfs.New(nil, faultfs.Config{Seed: 5, Rules: tc.rules})
+			l, err := CreateFS(ff, path, SyncNever)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+
+			writerDone := make(chan struct{})
+			go func() {
+				defer close(writerDone)
+				for i := 0; i < records; i++ {
+					// Retry the same record until it is acknowledged — the
+					// injected faults are transient and self-repairing, so
+					// the log must never break.
+					for {
+						err := l.AppendInsert([]geom.Object{obj(int32(i+1), float64(i+1))})
+						if err == nil {
+							break
+						}
+						if l.Broken() != nil {
+							t.Errorf("log broke on a transient fault: %v", l.Broken())
+							return
+						}
+					}
+				}
+			}()
+
+			// Tail: reopen-and-skip per round, the only resume pattern the
+			// Reader supports (it is not resumable past a torn frame).
+			var rec Record
+			n := uint64(0)
+			deadline := time.Now().Add(30 * time.Second)
+			for n < records {
+				if time.Now().After(deadline) {
+					t.Fatalf("tail stalled at %d/%d records", n, records)
+				}
+				rd, err := OpenReader(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				skipped, err := rd.Skip(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if skipped == n {
+					for {
+						frame, ok, err := rd.Next()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !ok {
+							break // clean end: EOF or a torn append in flight
+						}
+						ok, derr := NewStreamDecoder(bytes.NewReader(frame)).Next(&rec)
+						if derr != nil || !ok {
+							t.Fatalf("frame %d undecodable: ok %v err %v", n, ok, derr)
+						}
+						if len(rec.Objects) != 1 || rec.Objects[0].ID != int32(n+1) {
+							t.Fatalf("frame %d carries ID %d, want %d (duplicate or shifted record)",
+								n, rec.Objects[0].ID, n+1)
+						}
+						n++
+					}
+				} else if skipped > n {
+					t.Fatalf("Skip(%d) skipped %d", n, skipped)
+				}
+				rd.Close()
+				time.Sleep(time.Millisecond)
+			}
+			<-writerDone
+
+			if tc.rules != nil && ff.Injected() == 0 {
+				t.Fatal("no faults were injected: the case proved nothing")
+			}
+			// The finished log replays to exactly the acknowledged records.
+			ids, truncated := replayIDs(t, path)
+			if truncated != 0 {
+				t.Fatalf("TruncatedBytes = %d after self-repairing appends", truncated)
+			}
+			if len(ids) != records {
+				t.Fatalf("replayed %d records, want %d", len(ids), records)
+			}
+			for i, id := range ids {
+				if id != int32(i+1) {
+					t.Fatalf("replay record %d has ID %d, want %d", i, id, i+1)
+				}
+			}
+		})
+	}
+}

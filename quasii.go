@@ -30,7 +30,10 @@
 package quasii
 
 import (
+	"context"
 	"io"
+	"log/slog"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -40,6 +43,7 @@ import (
 	"repro/internal/gridfile"
 	"repro/internal/mosaic"
 	"repro/internal/octree"
+	"repro/internal/repl"
 	"repro/internal/rtree"
 	"repro/internal/scan"
 	"repro/internal/server"
@@ -432,6 +436,73 @@ const (
 // and the write-ahead log replayed; an empty directory is bootstrapped from
 // cfg.Bootstrap and checkpointed before OpenStore returns.
 func OpenStore(dir string, cfg StoreConfig) (*Store, error) { return durable.Open(dir, cfg) }
+
+// Replication (internal/repl): WAL shipping from a leader's durable store
+// to read replicas. A leader serves its latest checkpoint generation and
+// streams WAL frames from any retained global sequence (mount it through
+// ServerConfig.ReplSource); a follower bootstraps from the snapshot,
+// replays, then tails the leader with bounded backoff, staying a durable
+// store of its own so a restart resumes from local state. Promote flips a
+// caught-up follower into a writable leader. See docs/ARCHITECTURE.md for
+// the protocol and the guarantees.
+type (
+	// ReplLeader serves a store's state to followers over HTTP
+	// (GET /repl/snapshot, GET /repl/wal). Satisfies ServerConfig.ReplSource.
+	ReplLeader = repl.Leader
+	// ReplFollower keeps a local durable store in sync with a leader.
+	// Satisfies ServerConfig.ReplFollower.
+	ReplFollower = repl.Follower
+	// ReplFollowerConfig configures OpenReplFollower.
+	ReplFollowerConfig = repl.FollowerOptions
+	// ReplMetrics is the quasii_repl_* metric family, shared by both ends.
+	ReplMetrics = repl.Metrics
+	// ReplFaultRule selects which replication requests a fault transport
+	// breaks, and how.
+	ReplFaultRule = repl.FaultRule
+	// ReplFaultTransport is an http.RoundTripper injecting deterministic
+	// link faults (errors, stalls, truncation, corruption) — the
+	// replication analogue of the durable layer's fault-injecting file
+	// system, for tests and chaos harnesses.
+	ReplFaultTransport = repl.FaultTransport
+)
+
+// Replication link fault kinds for ReplFaultRule.Kind.
+const (
+	// ReplFaultError fails the request outright.
+	ReplFaultError = repl.FaultError
+	// ReplFaultStall hangs the request until the client times out.
+	ReplFaultStall = repl.FaultStall
+	// ReplFaultTruncate cuts the response body mid-stream.
+	ReplFaultTruncate = repl.FaultTruncate
+	// ReplFaultCorrupt flips one bit of the response body.
+	ReplFaultCorrupt = repl.FaultCorrupt
+)
+
+// NewReplLeader wires a replication leader over store. Metrics and logger
+// may be nil.
+func NewReplLeader(store *Store, m *ReplMetrics, logger *slog.Logger) *ReplLeader {
+	return repl.NewLeader(store, m, logger)
+}
+
+// OpenReplFollower brings up a follower: resume from local state in
+// cfg.Dir when present, otherwise bootstrap from the leader's snapshot
+// (retrying until ctx expires), then tail the leader's WAL in the
+// background. The returned follower is immediately readable via
+// Store().Index().
+func OpenReplFollower(ctx context.Context, cfg ReplFollowerConfig) (*ReplFollower, error) {
+	return repl.Open(ctx, cfg)
+}
+
+// NewReplMetrics registers the full quasii_repl_* family on reg (nil
+// returns nil, which every consumer treats as metrics-off). Both roles
+// register every series, so dashboards can be written once.
+func NewReplMetrics(reg *MetricsRegistry) *ReplMetrics { return repl.NewMetrics(reg) }
+
+// NewReplFaultTransport wraps under (nil selects http.DefaultTransport)
+// with deterministic, seeded fault injection driven by rules.
+func NewReplFaultTransport(under http.RoundTripper, seed int64, rules ...ReplFaultRule) *ReplFaultTransport {
+	return repl.NewFaultTransport(under, seed, rules...)
+}
 
 // Serve runs the HTTP query service over ix on addr until the listener
 // fails. Equivalent to NewServer(ix, cfg).ListenAndServe(addr).

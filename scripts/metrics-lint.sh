@@ -12,9 +12,10 @@
 # Run from the repository root. Exits non-zero listing every violation.
 set -eu
 
-SUBSYSTEMS='http|server|shard|core|wal|store|fault|durable'
-# "degraded" is the boolean-gauge unit of quasii_durable_degraded (0/1).
-UNITS='total|seconds|bytes|ratio|objects|queries|requests|shards|slices|seq|degraded'
+SUBSYSTEMS='http|server|shard|core|wal|store|fault|durable|repl'
+# "degraded" is the boolean-gauge unit of quasii_durable_degraded (0/1);
+# "records" the lag unit of quasii_repl_lag_records.
+UNITS='total|seconds|bytes|ratio|objects|queries|requests|shards|slices|seq|degraded|records'
 
 # Every string literal that looks like a metric name, wherever registered.
 # Excluded: tests (they register throwaway quasii_test_* names) and
