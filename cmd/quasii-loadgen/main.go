@@ -9,7 +9,7 @@
 //	quasii-loadgen [-addr http://localhost:8080] [-clients 8] [-queries 10000]
 //	               [-workload uniform|clustered|zipf|sequential]
 //	               [-selectivity 1e-3] [-skew 1.2] [-query-seed 2]
-//	               [-write-every 0] [-readers 0] [-writers 0]
+//	               [-write-every 0] [-readers 0] [-writers 0] [-audit-visibility]
 //	               [-oracle] [-check-metrics] [-n 200000] [-dataset uniform]
 //	               [-seed 1] [-retries 100] [-wait 10s]
 //
@@ -22,6 +22,11 @@
 // (server p50/p95/p99 print next to the client's). -check-metrics runs
 // that scrape without the oracle.
 // -write-every N mixes one insert→verify→delete cycle into every Nth query.
+// -audit-visibility promotes the cycles' read-your-writes checks to a
+// first-class acked-write audit: every acked insert must be observed by the
+// same client's immediate re-read and every acked delete must stay gone;
+// any violation (or an audit that never ran) fails the run. It defaults
+// -write-every to 25 when no write traffic was requested.
 // -readers/-writers select the mixed-workload mode: -readers R goroutines
 // drain the query workload (overriding -clients) while -writers W dedicated
 // goroutines run continuous insert→verify→delete cycles against the same
@@ -87,6 +92,10 @@ func main() {
 		"mixed-workload mode: dedicated writer goroutines running continuous insert+delete cycles")
 	oracle := flag.Bool("oracle", false,
 		"validate responses against a local scan oracle (requires matching -n/-dataset/-seed)")
+	auditVisibility := flag.Bool("audit-visibility", false,
+		"acked-write visibility audit: every acked insert must be seen by a same-client "+
+			"re-read and every acked delete must stay gone; any violation fails the run "+
+			"(enables write cycles every 25 queries unless -write-every/-writers say otherwise)")
 	n := flag.Int("n", 200000, "server dataset size (for -oracle and -workload clustered)")
 	datasetName := flag.String("dataset", "uniform", "server dataset generator: uniform or neuro")
 	seed := flag.Int64("seed", 1, "server dataset RNG seed")
@@ -149,13 +158,19 @@ func main() {
 		nClients = *readers
 	}
 	cfg := bench.LoadgenConfig{
-		BaseURL:    *addr,
-		Clients:    nClients,
-		Queries:    boxes,
-		WriteEvery: *writeEvery,
-		Writers:    *writers,
-		MaxRetries: *retries,
-		WaitReady:  *wait,
+		BaseURL:         *addr,
+		Clients:         nClients,
+		Queries:         boxes,
+		WriteEvery:      *writeEvery,
+		Writers:         *writers,
+		AuditVisibility: *auditVisibility,
+		MaxRetries:      *retries,
+		WaitReady:       *wait,
+	}
+	if cfg.AuditVisibility && cfg.WriteEvery == 0 && cfg.Writers == 0 {
+		// The audit needs acked writes to re-read; give it a write cycle
+		// every 25th query when the caller asked for none.
+		cfg.WriteEvery = 25
 	}
 	if *oracle {
 		sc := quasii.NewScan(loadData())
@@ -254,7 +269,11 @@ func main() {
 		os.Exit(1)
 	}
 	bench.PrintLoadgen(os.Stdout, res)
-	failed = failed || res.Mismatches > 0 || res.Errors > 0
+	failed = failed || res.Mismatches > 0 || res.Errors > 0 || res.VisibilityViolations > 0
+	if *auditVisibility && res.AuditedWrites == 0 {
+		fmt.Fprintln(os.Stderr, "quasii-loadgen: -audit-visibility ran but no acked write was audited")
+		failed = true
+	}
 	if scrapeErr != nil {
 		fmt.Fprintf(os.Stderr, "quasii-loadgen: %v\n", scrapeErr)
 		failed = true

@@ -54,6 +54,13 @@ type LoadgenConfig struct {
 	// end over HTTP. Writers stop when the readers drain the workload.
 	// 0 disables.
 	Writers int
+	// AuditVisibility promotes the write cycles' read-your-writes checks
+	// from anonymous mismatches to a first-class audit: every acked insert
+	// must be observed by the same client's immediate re-read, and every
+	// acked delete must stay invisible to it. AuditedWrites counts the
+	// checks, VisibilityViolations the failures — the consistency-contract
+	// assertion the restart smoke legs gate on.
+	AuditVisibility bool
 	// MaxRetries bounds the retries per request (429, 503 and — with
 	// RetryTransport — transport errors share the budget). 0 selects 100.
 	MaxRetries int
@@ -124,6 +131,13 @@ type LoadgenResult struct {
 	Transport    int64           // transport errors absorbed by retry (RetryTransport)
 	Errors       int64           // non-retryable failures (transport, 5xx, retries exhausted)
 	Mismatches   int64           // oracle disagreements
+
+	// The acked-write visibility audit (AuditVisibility): read-your-writes
+	// checks performed and the ones that failed — an acked insert a
+	// same-client read could not see, or an acked delete that stayed
+	// visible. Always 0 violations on a correct server.
+	AuditedWrites        int64
+	VisibilityViolations int64
 	Wall         time.Duration   // wall clock for the whole run
 	Latencies    []time.Duration // per successful range query, all clients
 }
@@ -145,6 +159,8 @@ type loadgenClient struct {
 	unavailable *atomic.Int64
 	transport   *atomic.Int64
 	errors      *atomic.Int64
+	audited     *atomic.Int64
+	violations  *atomic.Int64
 }
 
 // retryAfter reads the response's Retry-After header as whole seconds,
@@ -260,9 +276,11 @@ func RunLoadgen(cfg LoadgenConfig) *LoadgenResult {
 	}
 	res := &LoadgenResult{Clients: clients, Writers: cfg.Writers}
 	var queriesOK, writesOK, writerCycles, rejected, unavailable, transport, errors, mismatches atomic.Int64
+	var audited, violations atomic.Int64
 	newClient := func() *loadgenClient {
 		return &loadgenClient{cfg: &cfg, client: httpClient, rejected: &rejected,
-			unavailable: &unavailable, transport: &transport, errors: &errors}
+			unavailable: &unavailable, transport: &transport, errors: &errors,
+			audited: &audited, violations: &violations}
 	}
 	perClient := make([][]time.Duration, clients)
 	// Per-run nonce for write IDs: a run that dies between insert and
@@ -346,6 +364,8 @@ func RunLoadgen(cfg LoadgenConfig) *LoadgenResult {
 	res.Transport = transport.Load()
 	res.Errors = errors.Load()
 	res.Mismatches = mismatches.Load()
+	res.AuditedWrites = audited.Load()
+	res.VisibilityViolations = violations.Load()
 	return res
 }
 
@@ -365,8 +385,14 @@ func (lc *loadgenClient) writeCycle(q geom.Box, id int32, oracle func(geom.Box) 
 	if !lc.post("/query", server.QueryRequest{BoxJSON: server.BoxToJSON(obj.Box)}, &qresp) {
 		return false
 	}
+	if lc.cfg.AuditVisibility {
+		lc.audited.Add(1)
+	}
 	if !containsID(qresp.IDs, obj.ID) {
 		mismatches.Add(1)
+		if lc.cfg.AuditVisibility {
+			lc.violations.Add(1)
+		}
 	}
 	if oracle != nil && !oracleMatch(qresp.IDs, oracle(obj.Box)) {
 		mismatches.Add(1)
@@ -382,8 +408,14 @@ func (lc *loadgenClient) writeCycle(q geom.Box, id int32, oracle func(geom.Box) 
 	if !lc.post("/query", server.QueryRequest{BoxJSON: server.BoxToJSON(obj.Box)}, &qresp) {
 		return false
 	}
+	if lc.cfg.AuditVisibility {
+		lc.audited.Add(1)
+	}
 	if containsID(qresp.IDs, obj.ID) {
 		mismatches.Add(1)
+		if lc.cfg.AuditVisibility {
+			lc.violations.Add(1)
+		}
 	}
 	return true
 }
@@ -458,5 +490,9 @@ func PrintLoadgen(w io.Writer, r *LoadgenResult) {
 		r.Rejected, r.Unavailable, r.Errors, r.Mismatches)
 	if r.Transport > 0 {
 		fmt.Fprintf(w, "chaos: %d transport errors absorbed across restart windows\n", r.Transport)
+	}
+	if r.AuditedWrites > 0 || r.VisibilityViolations > 0 {
+		fmt.Fprintf(w, "visibility audit: %d acked writes re-read, %d violations\n",
+			r.AuditedWrites, r.VisibilityViolations)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/colstore"
@@ -173,22 +174,26 @@ func (l *sliceList) noteExtent(s *slice, dim int) {
 type Index struct {
 	cfg     Config
 	data    *colstore.Table
-	pending []geom.Object      // appended objects not yet indexed (see Append)
-	deleted map[int32]struct{} // tombstoned IDs awaiting compaction (see Delete)
 	root    *sliceList
 	tau     [geom.Dims]int
-	maxExt  geom.Point // max object extent per dimension (for query extension)
-	dataMBB geom.Box   // bounding box of all data (for KNN sizing)
 	rng     *rand.Rand // deterministic source for stochastic refinement
 	arena   sliceArena // chunked allocator for slice nodes
 	noStats bool
 	stats   Stats
 
+	// live is the head of the MVCC version chain (see version.go): pending
+	// inserts, tombstones and the derived extent bookkeeping live in
+	// immutable Version values published with an atomic swap. Readers load
+	// it once and never block on writers; verMu serializes the writers.
+	live  atomic.Pointer[Version]
+	verMu sync.Mutex
+
 	// epoch is the crack epoch: a monotonic counter bumped by every
-	// structural mutation (crack, splice, finalization, child creation,
-	// update, flush). The optimistic shared read path (shared.go) validates
-	// it to detect a racing writer; on a converged index it never moves, so
-	// shared readers never fall back. Atomic because shared readers load it
+	// *structural* mutation (crack, splice, finalization, child creation,
+	// flush). Data changes (Append, Delete) publish versions instead and do
+	// not move it, so the optimistic shared read path (shared.go) — which
+	// validates the epoch to detect a racing structural writer — never
+	// bails because of an update. Atomic because shared readers load it
 	// without holding the caller's exclusive lock.
 	epoch atomic.Uint64
 	// sharedQueries counts queries answered on the shared read path. It is
@@ -262,11 +267,12 @@ func New(data []geom.Object, cfg Config) *Index {
 		remCracks: -1,
 		heatEvery: heatEveryFor(cfg),
 	}
-	ix.maxExt = ix.data.MaxExtents()
-	ix.dataMBB = ix.data.MBB(0, ix.data.Len())
+	maxExt := ix.data.MaxExtents()
+	dataMBB := ix.data.MBB(0, ix.data.Len())
 	ix.computeTaus()
 	if len(data) == 0 {
 		ix.root = &sliceList{}
+		ix.initVersion(nil, nil, maxExt, dataMBB)
 		return ix
 	}
 	initial := ix.newSlice(0, 0, len(data), geom.UniverseBox())
@@ -274,6 +280,7 @@ func New(data []geom.Object, cfg Config) *Index {
 	if !ix.noStats {
 		ix.stats.SlicesCreated = len(ix.root.slices)
 	}
+	ix.initVersion(nil, nil, maxExt, dataMBB)
 	return ix
 }
 
@@ -296,9 +303,13 @@ func (ix *Index) computeTaus() {
 	}
 }
 
-// Len returns the number of live objects: indexed plus appended, minus
-// tombstoned ones.
-func (ix *Index) Len() int { return ix.data.Len() + len(ix.pending) - len(ix.deleted) }
+// Len returns the number of live objects at the current version: indexed
+// plus appended, minus tombstoned ones. Safe to call concurrently with
+// writers (it reads one immutable version).
+func (ix *Index) Len() int {
+	v := ix.live.Load()
+	return v.table.Len() + len(v.pending) - len(v.deleted)
+}
 
 // Stats returns a snapshot of the cumulative work counters. SharedQueries is
 // folded in from its atomic home, so Stats may be called under shared access
@@ -331,20 +342,20 @@ func (ix *Index) keyMode() colstore.KeyMode {
 func (ix *Index) extendLo(d int) float64 {
 	switch ix.cfg.Assign {
 	case AssignCenter:
-		return ix.maxExt[d] / 2
+		return ix.live.Load().maxExt[d] / 2
 	case AssignUpper:
 		return 0 // upper(o) >= ql whenever o intersects q
 	default:
-		return ix.maxExt[d]
+		return ix.live.Load().maxExt[d]
 	}
 }
 
 func (ix *Index) extendHi(d int) float64 {
 	switch ix.cfg.Assign {
 	case AssignCenter:
-		return ix.maxExt[d] / 2
+		return ix.live.Load().maxExt[d] / 2
 	case AssignUpper:
-		return ix.maxExt[d]
+		return ix.live.Load().maxExt[d]
 	default:
 		return 0 // lower-coordinate assignment: lower(o) <= qu whenever o intersects q
 	}
@@ -354,13 +365,14 @@ func (ix *Index) extendHi(d int) float64 {
 // them to out. As a side effect it refines the index around q. On a
 // converged index the call is allocation-free when out has capacity.
 func (ix *Index) Query(q geom.Box, out []int32) []int32 {
+	v := ix.live.Load()
 	start := len(out)
 	out = ix.queryPositions(q, out)
 	// The traversal collects array positions (valid for the whole call:
 	// refinement only reorders ranges not yet scanned); translate to IDs in
 	// place, filtering tombstoned objects.
 	ids := ix.data.ID
-	if ix.deleted == nil {
+	if v.deleted == nil {
 		for i := start; i < len(out); i++ {
 			out[i] = ids[out[i]]
 		}
@@ -368,7 +380,7 @@ func (ix *Index) Query(q geom.Box, out []int32) []int32 {
 		w := start
 		for i := start; i < len(out); i++ {
 			id := ids[out[i]]
-			if _, dead := ix.deleted[id]; dead {
+			if _, dead := v.deleted[id]; dead {
 				continue
 			}
 			out[w] = id
@@ -376,11 +388,14 @@ func (ix *Index) Query(q geom.Box, out []int32) []int32 {
 		}
 		out = out[:w]
 	}
-	// Appended objects are unindexed until Flush; scan them linearly.
-	if len(ix.pending) > 0 && !q.IsEmpty() {
-		for i := range ix.pending {
-			if ix.pending[i].Intersects(q) {
-				out = append(out, ix.pending[i].ID)
+	// Appended objects are unindexed until Flush; scan them linearly,
+	// skipping any that were tombstoned while still pending.
+	if len(v.pending) > 0 && !q.IsEmpty() {
+		for i := range v.pending {
+			if v.pending[i].Intersects(q) {
+				if _, dead := v.deleted[v.pending[i].ID]; !dead {
+					out = append(out, v.pending[i].ID)
+				}
 			}
 		}
 	}

@@ -83,46 +83,45 @@ func (ix *Index) completeSlice(s *slice, dim int) []*slice {
 // available up front (static setting); arrivals are therefore buffered and
 // scanned linearly by every query until Flush folds them into the indexed
 // lanes. IDs need not be unique, but results are reported by ID.
+//
+// Append publishes a new version (see version.go) and is safe under the
+// shard's shared lock, concurrently with readers and other writers.
 func (ix *Index) Append(objs ...geom.Object) {
-	ix.epoch.Add(1)
-	ix.pending = append(ix.pending, objs...)
-	for i := range objs {
-		for d := 0; d < geom.Dims; d++ {
-			if e := objs[i].Max[d] - objs[i].Min[d]; e > ix.maxExt[d] {
-				ix.maxExt[d] = e
-			}
-		}
-		ix.dataMBB = ix.dataMBB.Extend(objs[i].Box)
-	}
+	ix.AppendVersioned(objs...)
 }
 
 // Pending returns the number of appended objects not yet folded into the
-// indexed lanes.
-func (ix *Index) Pending() int { return len(ix.pending) }
+// indexed lanes (tombstoned-while-pending entries included until Flush).
+func (ix *Index) Pending() int { return len(ix.live.Load().pending) }
 
 // Delete removes the object with the given ID, using hint (typically the
 // object's own box) to locate it. Deletion is logical — a tombstone filters
 // the object out of all results immediately — and physical on the next
 // Flush, which compacts the lanes and restarts refinement. It reports
-// whether an object was found. IDs are assumed unique for deletion; with
-// duplicates every object carrying the ID disappears from results.
+// whether a visible object was found; an ID already tombstoned reads as
+// absent. IDs are assumed unique for deletion; with duplicates every object
+// carrying the ID disappears from results.
+//
+// Delete may refine the index around hint, so it requires the exclusive
+// lock; DeleteShared is the escalation-free variant for converged regions.
 func (ix *Index) Delete(id int32, hint geom.Box) bool {
-	// A pending object can be removed outright.
-	for i := range ix.pending {
-		if ix.pending[i].ID == id && ix.pending[i].Intersects(hint) {
-			ix.epoch.Add(1)
-			ix.pending = append(ix.pending[:i], ix.pending[i+1:]...)
+	cur := ix.live.Load()
+	if _, dead := cur.deleted[id]; dead {
+		return false
+	}
+	// A pending object is tombstoned exactly like an indexed one: the
+	// version's pending slice is immutable, and Flush drops tombstoned
+	// entries instead of folding them in.
+	for i := range cur.pending {
+		if cur.pending[i].ID == id && cur.pending[i].Intersects(hint) {
+			ix.deleteVersioned(id)
 			return true
 		}
 	}
 	// Locate in the indexed lanes (refines around hint as a side effect).
 	for _, pos := range ix.queryPositions(hint, nil) {
 		if ix.data.ID[pos] == id {
-			if ix.deleted == nil {
-				ix.deleted = make(map[int32]struct{})
-			}
-			ix.epoch.Add(1)
-			ix.deleted[id] = struct{}{}
+			ix.deleteVersioned(id)
 			return true
 		}
 	}
@@ -130,28 +129,62 @@ func (ix *Index) Delete(id int32, hint geom.Box) bool {
 }
 
 // Deleted returns the number of tombstoned objects awaiting compaction.
-func (ix *Index) Deleted() int { return len(ix.deleted) }
+func (ix *Index) Deleted() int { return len(ix.live.Load().deleted) }
 
 // Flush folds all appended objects into the indexed lanes and compacts away
 // tombstoned ones. The slice hierarchy restarts from a single unrefined
 // slice — subsequent queries rebuild it incrementally, which is the
 // adaptive-indexing answer to bulk updates (refining the merge is future
 // work the paper leaves open).
+//
+// Flush requires the exclusive lock. If any version in the chain is pinned
+// (a checkpoint mid-write), the lanes are cloned first so the pinned view
+// keeps its frozen generation; otherwise compaction is in place as before.
 func (ix *Index) Flush() {
-	if len(ix.pending) == 0 && len(ix.deleted) == 0 {
+	cur := ix.live.Load()
+	if len(cur.pending) == 0 && len(cur.deleted) == 0 {
 		return
 	}
 	ix.epoch.Add(1)
-	if len(ix.deleted) > 0 {
-		ix.data.Compact(ix.deleted)
-		ix.deleted = nil
+	if ix.chainPinned() {
+		// A pinned version references the current lanes; rebuilding must
+		// not touch them. The clone becomes the live table, the pinned
+		// version keeps the superseded one (its root and tau fields were
+		// captured at publish and stay consistent with it).
+		ix.data = ix.data.Clone()
 	}
-	ix.data.AppendObjects(ix.pending)
-	ix.pending = nil
+	if len(cur.deleted) > 0 {
+		ix.data.Compact(cur.deleted)
+	}
+	if len(cur.pending) > 0 {
+		live := cur.pending
+		if len(cur.deleted) > 0 {
+			// Drop tombstoned-while-pending objects instead of resurrecting
+			// them. Copy — cur.pending's backing array is shared COW state.
+			live = make([]geom.Object, 0, len(cur.pending))
+			for i := range cur.pending {
+				if _, dead := cur.deleted[cur.pending[i].ID]; !dead {
+					live = append(live, cur.pending[i])
+				}
+			}
+		}
+		ix.data.AppendObjects(live)
+	}
 	ix.computeTaus()
 	initial := ix.newSlice(0, 0, ix.data.Len(), geom.UniverseBox())
 	ix.root = &sliceList{slices: []*slice{initial}, maxExt: math.Inf(1)}
 	if !ix.noStats {
 		ix.stats.SlicesCreated++
 	}
+	// Publish the fresh base version: no deltas, new table/root generation.
+	ix.verMu.Lock()
+	ix.publishLocked(&Version{
+		seq:     ix.live.Load().seq + 1,
+		maxExt:  cur.maxExt,
+		dataMBB: cur.dataMBB,
+		table:   ix.data,
+		root:    ix.root,
+		tau:     ix.tau,
+	})
+	ix.verMu.Unlock()
 }

@@ -267,9 +267,34 @@ func TestDeletePendingObject(t *testing.T) {
 	if !ix.Delete(7777, o.Box) {
 		t.Fatal("Delete of pending object failed")
 	}
-	if ix.Pending() != 0 || ix.Deleted() != 0 {
-		t.Fatalf("Pending=%d Deleted=%d", ix.Pending(), ix.Deleted())
+	// Deletion is a tombstone even for pending objects (the version's
+	// pending slice is immutable); the object must be invisible everywhere
+	// and Flush must not resurrect it.
+	if ix.Len() != 100 {
+		t.Fatalf("Len = %d after deleting the pending object", ix.Len())
 	}
+	if got := ix.Query(o.Box, nil); containsID(got, 7777) {
+		t.Fatal("deleted pending object still visible to Query")
+	}
+	if ix.Delete(7777, o.Box) {
+		t.Fatal("second Delete of the same ID reported success")
+	}
+	ix.Flush()
+	if ix.Pending() != 0 || ix.Deleted() != 0 {
+		t.Fatalf("Pending=%d Deleted=%d after Flush", ix.Pending(), ix.Deleted())
+	}
+	if got := ix.Query(o.Box, nil); containsID(got, 7777) {
+		t.Fatal("Flush resurrected a tombstoned pending object")
+	}
+}
+
+func containsID(ids []int32, id int32) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
 }
 
 func TestDeleteMissing(t *testing.T) {

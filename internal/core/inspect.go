@@ -90,10 +90,11 @@ func (ix *Index) Inspect(maxDepth int) InspectReport {
 	if maxDepth <= 0 || maxDepth > geom.Dims {
 		maxDepth = geom.Dims
 	}
+	v := ix.live.Load()
 	rep := InspectReport{
 		Objects:         ix.data.Len(),
-		Pending:         len(ix.pending),
-		Deleted:         len(ix.deleted),
+		Pending:         len(v.pending),
+		Deleted:         len(v.deleted),
 		Tau:             ix.tau,
 		Epoch:           ix.epoch.Load(),
 		HeatSampleEvery: int(ix.heatEvery),
@@ -101,7 +102,7 @@ func (ix *Index) Inspect(maxDepth int) InspectReport {
 	if ix.root != nil {
 		rep.Root = ix.inspectList(ix.root, maxDepth, &rep)
 	}
-	rep.Converged = len(ix.pending) == 0 && converged(rep.Root)
+	rep.Converged = len(v.pending) == 0 && converged(rep.Root)
 	return rep
 }
 

@@ -29,7 +29,7 @@ func (ix *Index) KNN(p geom.Point, k int) []Neighbor {
 	if k > ix.data.Len() {
 		k = ix.data.Len()
 	}
-	span := ix.dataMBB
+	span := ix.live.Load().dataMBB
 	// Initial cube: volume sized for an expected 2k objects under a uniform
 	// density assumption; clamped to a sane floor.
 	side := math.Cbrt(span.Volume() * 2 * float64(k) / float64(ix.data.Len()))
@@ -74,6 +74,36 @@ func (ix *Index) rank(pos []int32, p geom.Point, k int) []Neighbor {
 	for _, j := range pos {
 		nn = append(nn, Neighbor{ID: ix.data.ID[j], DistSq: ix.data.MinDistSq(int(j), p)})
 	}
+	return sortTrim(nn, k)
+}
+
+// rankVisible is rank for the shared MVCC path: lane positions whose ID is
+// tombstoned in v are dropped, and every visible pending object of v joins
+// the candidate set (pending objects are few and unindexed, so ranking all
+// of them is both cheap and what keeps the result exact regardless of the
+// probe geometry).
+func (ix *Index) rankVisible(pos []int32, v *Version, p geom.Point, k int) []Neighbor {
+	nn := make([]Neighbor, 0, len(pos)+len(v.pending))
+	for _, j := range pos {
+		id := v.table.ID[j]
+		if _, dead := v.deleted[id]; dead {
+			continue
+		}
+		nn = append(nn, Neighbor{ID: id, DistSq: v.table.MinDistSq(int(j), p)})
+	}
+	for i := range v.pending {
+		o := &v.pending[i]
+		if _, dead := v.deleted[o.ID]; dead {
+			continue
+		}
+		nn = append(nn, Neighbor{ID: o.ID, DistSq: boxMinDistSq(o.Box, p)})
+	}
+	return sortTrim(nn, k)
+}
+
+// sortTrim orders candidates by distance (ID tie-break) and keeps the k
+// nearest.
+func sortTrim(nn []Neighbor, k int) []Neighbor {
 	sort.Slice(nn, func(i, j int) bool {
 		if nn[i].DistSq != nn[j].DistSq {
 			return nn[i].DistSq < nn[j].DistSq
@@ -84,4 +114,22 @@ func (ix *Index) rank(pos []int32, p geom.Point, k int) []Neighbor {
 		nn = nn[:k]
 	}
 	return nn
+}
+
+// boxMinDistSq returns the squared minimum distance between p and box b —
+// the AoS twin of colstore's MinDistSq, for pending objects that have no
+// lane row yet.
+func boxMinDistSq(b geom.Box, p geom.Point) float64 {
+	var sum float64
+	for d := 0; d < geom.Dims; d++ {
+		switch {
+		case p[d] < b.Min[d]:
+			diff := b.Min[d] - p[d]
+			sum += diff * diff
+		case p[d] > b.Max[d]:
+			diff := p[d] - b.Max[d]
+			sum += diff * diff
+		}
+	}
+	return sum
 }

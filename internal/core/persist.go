@@ -85,21 +85,36 @@ const maxHeaderBytes = 1 << 30
 // Save serializes the index to w in the version-2 columnar format: magic,
 // a length-prefixed gob block (configuration, update buffers, the full
 // slice hierarchy with its refinement state), then the data lanes written
-// directly from columnar storage.
+// directly from columnar storage. It snapshots the live version; see
+// SaveVersion for checkpointing an explicitly pinned one.
 func (ix *Index) Save(w io.Writer) error {
+	return ix.SaveVersion(w, ix.live.Load())
+}
+
+// SaveVersion serializes v's view of the index — its base lanes, the slice
+// hierarchy describing them, and its delta buffers — in the same version-2
+// format Save writes; Load cannot tell the difference. This is what makes
+// the zero-pause durable checkpoint possible: the checkpoint pins a version
+// at the cut, updates keep publishing new versions, and the snapshot
+// written afterwards is exactly the pinned view. The caller must hold at
+// least the shared lock (a current-generation version's lanes may still be
+// reordered in place by cracking; the lock excludes that; a superseded
+// generation is frozen either way, but the lock also keeps the rule
+// simple).
+func (ix *Index) SaveVersion(w io.Writer, v *Version) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(magicV2); err != nil {
 		return err
 	}
 	head := snapshotV2{
 		Cfg:     ix.cfg,
-		DataLen: ix.data.Len(),
-		Pending: ix.pending,
-		Deleted: deletedIDs(ix.deleted),
-		MaxExt:  ix.maxExt,
-		DataMBB: ix.dataMBB,
-		Tau:     ix.tau,
-		Root:    encodeList(ix.root),
+		DataLen: v.table.Len(),
+		Pending: v.pending,
+		Deleted: deletedIDs(v.deleted),
+		MaxExt:  v.maxExt,
+		DataMBB: v.dataMBB,
+		Tau:     v.tau,
+		Root:    encodeList(v.root),
 		Stats:   ix.Stats(), // folds the atomic SharedQueries counter in
 	}
 	var hb bytes.Buffer
@@ -114,7 +129,7 @@ func (ix *Index) Save(w io.Writer) error {
 	if _, err := bw.Write(hb.Bytes()); err != nil {
 		return err
 	}
-	if err := ix.data.WriteLanes(bw); err != nil {
+	if err := v.table.WriteLanes(bw); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -124,14 +139,15 @@ func (ix *Index) Save(w io.Writer) error {
 // tests can exercise the v1 load path and the v1→v2 migration without
 // checked-in binary fixtures.
 func (ix *Index) saveV1(w io.Writer) error {
+	v := ix.live.Load()
 	snap := snapshot{
 		Version: snapshotVersion,
 		Cfg:     ix.cfg,
 		Data:    ix.data.Objects(make([]geom.Object, 0, ix.data.Len())),
-		Pending: ix.pending,
-		Deleted: deletedIDs(ix.deleted),
-		MaxExt:  ix.maxExt,
-		DataMBB: ix.dataMBB,
+		Pending: v.pending,
+		Deleted: deletedIDs(v.deleted),
+		MaxExt:  v.maxExt,
+		DataMBB: v.dataMBB,
 		Tau:     ix.tau,
 		Root:    encodeList(ix.root),
 		Stats:   ix.Stats(),
@@ -206,10 +222,6 @@ func buildIndex(cfg Config, data *colstore.Table, pending []geom.Object, deleted
 	ix := &Index{
 		cfg:       cfg,
 		data:      data,
-		pending:   pending,
-		deleted:   deletedSet(deleted),
-		maxExt:    maxExt,
-		dataMBB:   dataMBB,
 		tau:       tau,
 		rng:       rand.New(rand.NewSource(seed)),
 		noStats:   cfg.DisableStats,
@@ -225,6 +237,7 @@ func buildIndex(cfg Config, data *colstore.Table, pending []geom.Object, deleted
 	if ix.root == nil {
 		ix.root = &sliceList{}
 	}
+	ix.initVersion(pending, deletedSet(deleted), maxExt, dataMBB)
 	// Bounds-check every slice range before the structural invariant check,
 	// which indexes into the data lanes and would panic on dangling ranges.
 	if err := checkRanges(ix.root, ix.data.Len()); err != nil {

@@ -93,7 +93,7 @@ func TestArtificialRefinementEnforcesTau(t *testing.T) {
 	ix.Query(q, nil)
 	tauX := ix.Tau(0)
 	for _, s := range ix.root.slices {
-		overlaps := s.box.Max[0] >= q.Min[0]-ix.maxExt[0] && s.box.Min[0] <= q.Max[0]
+		overlaps := s.box.Max[0] >= q.Min[0]-ix.live.Load().maxExt[0] && s.box.Min[0] <= q.Max[0]
 		if overlaps && s.size() > tauX {
 			t.Fatalf("query-overlapping slice [%d,%d) exceeds tau_x=%d", s.lo, s.hi, tauX)
 		}

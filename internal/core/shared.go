@@ -1,25 +1,28 @@
-// The optimistic shared read path. QUASII converges toward R-tree-like
-// behaviour precisely because, after enough queries, most slices are final
-// and never cracked again — so the steady state the paper celebrates is a
-// read-mostly structure that should be queried under shared access, not
-// behind an exclusive lock. The entry points below walk the slice hierarchy
-// without mutating anything: no finalization, no child creation, no
-// cracking, no plain-counter stats. A query whose touched region is fully
-// refined is answered in place; any slice that still needs work makes the
-// walk bail out so the caller can retry on the exclusive path (Query /
-// QueryBudgeted), which alone mutates the hierarchy and bumps the crack
-// epoch.
+// The shared read path. QUASII converges toward R-tree-like behaviour
+// precisely because, after enough queries, most slices are final and never
+// cracked again — so the steady state the paper celebrates is a read-mostly
+// structure that should be queried under shared access, not behind an
+// exclusive lock. The entry points below pin a version (an atomic load of
+// the MVCC head — see version.go) and walk the slice hierarchy without
+// mutating anything: no finalization, no child creation, no cracking, no
+// plain-counter stats. A query whose touched region is fully refined is
+// answered in place against the pinned version's view — lanes plus visible
+// deltas — regardless of how many appends and deletes race with it. Only a
+// slice that still needs structural work makes the walk bail out so the
+// caller can retry on the exclusive path (Query / QueryBudgeted), which
+// alone mutates the hierarchy and bumps the crack epoch.
 //
 // # Safety contract
 //
-// Any number of shared-path calls may run concurrently with each other.
-// They must not run concurrently with the exclusive path or with updates —
-// the sharded engine guarantees that with a per-shard RWMutex (readers take
-// the read lock, cracking queries the write lock). The crack epoch is the
-// belt to that suspenders: every walk records the epoch first and validates
-// it after, so even a misuse race (a writer sneaking in between the
-// caller's decision and the walk) is detected and turned into a fallback
-// instead of a wrong answer.
+// Any number of shared-path calls may run concurrently with each other and
+// with version-publishing writers (Append, Delete via DeleteShared). They
+// must not run concurrently with the exclusive path — cracking queries and
+// Flush — which the sharded engine guarantees with a per-shard RWMutex.
+// The crack epoch is the belt to those suspenders: every walk records the
+// epoch first and validates it after, so even a misuse race (a structural
+// writer sneaking in between the caller's decision and the walk) is
+// detected and turned into a fallback instead of a wrong answer. Data
+// changes no longer move the epoch, so a write burst cannot evict readers.
 
 package core
 
@@ -30,9 +33,10 @@ import (
 )
 
 // Epoch returns the crack epoch: a monotonic counter that moves on every
-// structural mutation and stands still exactly when the index does. Two
-// equal Epoch reads bracketing a shared walk prove the walk saw a frozen
-// structure. Safe to call concurrently with anything.
+// structural mutation and stands still exactly when the hierarchy does.
+// Two equal Epoch reads bracketing a shared walk prove the walk saw a
+// frozen structure. Data changes (Append/Delete) do not move it — they
+// publish versions; see DataVersion. Safe to call concurrently.
 func (ix *Index) Epoch() uint64 { return ix.epoch.Load() }
 
 // Converged reports whether a query touching the whole universe would stay
@@ -40,7 +44,7 @@ func (ix *Index) Epoch() uint64 { return ix.epoch.Load() }
 // refined down to the bottom level. It is a read-only full walk — O(slices)
 // — intended for scheduling decisions, not hot loops.
 func (ix *Index) Converged() bool {
-	if len(ix.pending) > 0 {
+	if len(ix.live.Load().pending) > 0 {
 		return false
 	}
 	var walk func(l *sliceList, dim int) bool
@@ -60,48 +64,34 @@ func (ix *Index) Converged() bool {
 	return ix.root == nil || walk(ix.root, 0)
 }
 
-// QueryShared answers q on the optimistic shared read path: a read-only
-// walk over the already-refined slice hierarchy. On success it appends the
-// matching IDs to out (exactly what Query would return) and reports true.
-// It reports false — with out unchanged — when any touched slice still
-// needs refinement or the crack epoch moved mid-walk; the caller must then
-// retry on the exclusive path. On a converged index the call is
-// allocation-free when out has capacity.
+// QueryShared answers q on the shared read path: it pins the live version
+// and performs a read-only walk over the already-refined slice hierarchy,
+// merging the version's deltas (pending inserts, tombstones) in stream. On
+// success it appends the matching IDs to out (exactly what Query would
+// return at the pinned version) and reports true. It reports false — with
+// out unchanged — only when a touched slice still needs refinement or the
+// structure moved mid-walk; concurrent appends and deletes never cause a
+// bail. On a converged index the call is allocation-free when out has
+// capacity.
 func (ix *Index) QueryShared(q geom.Box, out []int32) ([]int32, bool) {
 	start := len(out)
+	v := ix.live.Load()
 	e := ix.epoch.Load()
-	if ix.data.Len() > 0 && !q.IsEmpty() {
+	if v.table.Len() > 0 && !q.IsEmpty() {
 		var ok bool
-		out, ok = ix.queryListShared(q, ix.root, 0, out, ix.sampleHeat())
+		out, ok = ix.queryListVisible(q, ix.root, 0, v.deleted, out, ix.sampleHeat())
 		if !ok || ix.epoch.Load() != e {
 			return out[:start], false
 		}
-		// Translate array positions to IDs in place, filtering tombstones —
-		// the same post-pass as Query, reading the lanes only.
-		ids := ix.data.ID
-		if ix.deleted == nil {
-			for i := start; i < len(out); i++ {
-				out[i] = ids[out[i]]
-			}
-		} else {
-			w := start
-			for i := start; i < len(out); i++ {
-				id := ids[out[i]]
-				if _, dead := ix.deleted[id]; dead {
-					continue
-				}
-				out[w] = id
-				w++
-			}
-			out = out[:w]
-		}
 	}
-	// Appended objects are unindexed until Flush; scanning them linearly is
-	// read-only, so the shared path serves them too.
-	if len(ix.pending) > 0 && !q.IsEmpty() {
-		for i := range ix.pending {
-			if ix.pending[i].Intersects(q) {
-				out = append(out, ix.pending[i].ID)
+	// The version's pending objects are unindexed until Flush; scanning
+	// them linearly is read-only, so the shared path serves them too.
+	if len(v.pending) > 0 && !q.IsEmpty() {
+		for i := range v.pending {
+			if v.pending[i].Intersects(q) {
+				if _, dead := v.deleted[v.pending[i].ID]; !dead {
+					out = append(out, v.pending[i].ID)
+				}
 			}
 		}
 	}
@@ -113,12 +103,120 @@ func (ix *Index) QueryShared(q geom.Box, out []int32) ([]int32, bool) {
 	return out, true
 }
 
-// queryListShared is the read-only mirror of queryList: same sibling binary
-// search, same descent, but any slice that the exclusive path would have to
-// touch — finalize, give a child, or crack — aborts the walk instead. heat
-// is threaded as a parameter (not an Index field) because any number of
+// queryAtVersion answers q against an arbitrary pinned version's view — the
+// harness entry point for auditing that a pinned read sees exactly the
+// writes published at or before its pin. For a current-generation version
+// it reuses the live walk; for a version whose table was superseded by a
+// Flush it walks the frozen generation the version captured. Same locking
+// contract as QueryShared.
+func (ix *Index) queryAtVersion(v *Version, q geom.Box, out []int32) ([]int32, bool) {
+	root := v.root
+	if v.table.Len() > 0 && !q.IsEmpty() && root != nil {
+		var ok bool
+		out, ok = ix.queryTableVisible(v.table, q, root, 0, v.deleted, out)
+		if !ok {
+			return out, false
+		}
+	}
+	if len(v.pending) > 0 && !q.IsEmpty() {
+		for i := range v.pending {
+			if v.pending[i].Intersects(q) {
+				if _, dead := v.deleted[v.pending[i].ID]; !dead {
+					out = append(out, v.pending[i].ID)
+				}
+			}
+		}
+	}
+	return out, true
+}
+
+// queryListVisible is the read-only mirror of queryList with the version's
+// tombstone filter fused into the bottom-level scan (colstore's
+// ScanIntersectVisible appends surviving IDs directly — no position
+// translation pass). Any slice the exclusive path would have to touch —
+// finalize, give a child, or crack — aborts the walk instead. heat is
+// threaded as a parameter (not an Index field) because any number of
 // shared walks run concurrently; the only mutation a sampled walk performs
 // is the atomic touch counter, which is still "read-only" structurally.
+func (ix *Index) queryListVisible(q geom.Box, list *sliceList, dim int, del map[int32]struct{}, out []int32, heat bool) ([]int32, bool) {
+	fastPath := ix.cfg.Assign == AssignLower && !math.IsInf(list.maxExt, 1)
+	var i int
+	if fastPath {
+		i = list.lowerBound(q.Min[dim]-list.maxExt, dim)
+	}
+	for ; i < len(list.slices); i++ {
+		s := list.slices[i]
+		if fastPath && s.box.Min[dim] > q.Max[dim] {
+			break
+		}
+		if !s.box.Intersects(q) {
+			continue
+		}
+		if !s.refined {
+			return out, false // needs finalization or cracking: exclusive work
+		}
+		s.touchHeat(heat)
+		if dim == geom.Dims-1 {
+			out = ix.data.ScanIntersectVisible(s.lo, s.hi, q, del, out)
+			continue
+		}
+		if s.children == nil {
+			return out, false // lazy child creation is exclusive work
+		}
+		var ok bool
+		out, ok = ix.queryListVisible(q, s.children, dim+1, del, out, heat)
+		if !ok {
+			return out, false
+		}
+	}
+	return out, true
+}
+
+// queryTableVisible is queryListVisible against an explicit (possibly
+// superseded) table — the frozen-generation walk behind queryAtVersion and
+// SaveVersion consistency checks. It records no heat.
+func (ix *Index) queryTableVisible(t tableLike, q geom.Box, list *sliceList, dim int, del map[int32]struct{}, out []int32) ([]int32, bool) {
+	fastPath := ix.cfg.Assign == AssignLower && !math.IsInf(list.maxExt, 1)
+	var i int
+	if fastPath {
+		i = list.lowerBound(q.Min[dim]-list.maxExt, dim)
+	}
+	for ; i < len(list.slices); i++ {
+		s := list.slices[i]
+		if fastPath && s.box.Min[dim] > q.Max[dim] {
+			break
+		}
+		if !s.box.Intersects(q) {
+			continue
+		}
+		if !s.refined {
+			return out, false
+		}
+		if dim == geom.Dims-1 {
+			out = t.ScanIntersectVisible(s.lo, s.hi, q, del, out)
+			continue
+		}
+		if s.children == nil {
+			return out, false
+		}
+		var ok bool
+		out, ok = ix.queryTableVisible(t, q, s.children, dim+1, del, out)
+		if !ok {
+			return out, false
+		}
+	}
+	return out, true
+}
+
+// tableLike is the slice of the colstore API the frozen-generation walk
+// needs; it exists so the walk is explicit about touching only v.table.
+type tableLike interface {
+	ScanIntersectVisible(lo, hi int, q geom.Box, dead map[int32]struct{}, out []int32) []int32
+}
+
+// queryListShared is the position-collecting read-only walk (no tombstone
+// filtering — callers that need the raw lane positions, like the KNN
+// ranking and the shared delete locator, post-filter by ID).
 func (ix *Index) queryListShared(q geom.Box, list *sliceList, dim int, out []int32, heat bool) ([]int32, bool) {
 	fastPath := ix.cfg.Assign == AssignLower && !math.IsInf(list.maxExt, 1)
 	var i int
@@ -154,30 +252,27 @@ func (ix *Index) queryListShared(q geom.Box, list *sliceList, dim int, out []int
 }
 
 // CountShared counts the objects intersecting q on the shared read path,
-// reporting false when the walk would need exclusive work. Without
-// tombstones the count comes from a walk that never materializes positions
-// (the colstore count kernel), so it is allocation-free regardless of the
-// result cardinality.
+// reporting false when the walk would need exclusive work. The count walk
+// never materializes positions — tombstones are filtered by the fused
+// colstore count kernel — so it is allocation-free regardless of result
+// cardinality or how many deletes are in flight.
 func (ix *Index) CountShared(q geom.Box) (int, bool) {
-	if len(ix.deleted) > 0 {
-		// Tombstone filtering needs the ID lane per match; collect positions
-		// through the ordinary shared walk instead of duplicating it.
-		res, ok := ix.QueryShared(q, nil)
-		return len(res), ok
-	}
+	v := ix.live.Load()
 	e := ix.epoch.Load()
 	n := 0
-	if ix.data.Len() > 0 && !q.IsEmpty() {
+	if v.table.Len() > 0 && !q.IsEmpty() {
 		var ok bool
-		n, ok = ix.countListShared(q, ix.root, 0, ix.sampleHeat())
+		n, ok = ix.countListShared(q, ix.root, 0, v.deleted, ix.sampleHeat())
 		if !ok || ix.epoch.Load() != e {
 			return 0, false
 		}
 	}
 	if !q.IsEmpty() {
-		for i := range ix.pending {
-			if ix.pending[i].Intersects(q) {
-				n++
+		for i := range v.pending {
+			if v.pending[i].Intersects(q) {
+				if _, dead := v.deleted[v.pending[i].ID]; !dead {
+					n++
+				}
 			}
 		}
 	}
@@ -187,8 +282,8 @@ func (ix *Index) CountShared(q geom.Box) (int, bool) {
 	return n, true
 }
 
-// countListShared mirrors queryListShared but only counts matches.
-func (ix *Index) countListShared(q geom.Box, list *sliceList, dim int, heat bool) (int, bool) {
+// countListShared mirrors queryListVisible but only counts matches.
+func (ix *Index) countListShared(q geom.Box, list *sliceList, dim int, del map[int32]struct{}, heat bool) (int, bool) {
 	fastPath := ix.cfg.Assign == AssignLower && !math.IsInf(list.maxExt, 1)
 	var i int
 	if fastPath {
@@ -208,13 +303,13 @@ func (ix *Index) countListShared(q geom.Box, list *sliceList, dim int, heat bool
 		}
 		s.touchHeat(heat)
 		if dim == geom.Dims-1 {
-			n += ix.data.CountIntersect(s.lo, s.hi, q)
+			n += ix.data.CountIntersectVisible(s.lo, s.hi, q, del)
 			continue
 		}
 		if s.children == nil {
 			return 0, false
 		}
-		c, ok := ix.countListShared(q, s.children, dim+1, heat)
+		c, ok := ix.countListShared(q, s.children, dim+1, del, heat)
 		if !ok {
 			return 0, false
 		}
@@ -223,25 +318,38 @@ func (ix *Index) countListShared(q geom.Box, list *sliceList, dim int, heat bool
 	return n, true
 }
 
-// KNNShared answers a k-nearest-neighbor query on the shared read path. It
-// reports false when the probed region is not yet converged, or when
-// pending inserts or tombstones require the exclusive path's Flush. The
-// search mirrors KNN: an expanding probe cube plus one exactness pass, all
-// probes read-only. The probes never record heat: a single KNN re-walks the
-// same slices once per expansion, which would overweight them in the map.
+// KNNShared answers a k-nearest-neighbor query on the shared read path
+// against the pinned version's view: lane candidates are post-filtered by
+// the tombstone set and every visible pending object joins the candidate
+// ranking, so — unlike the exclusive KNN, which folds updates in with a
+// Flush — a write burst no longer evicts KNN readers. It reports false
+// only when the probed region is not yet converged. The probes never
+// record heat: a single KNN re-walks the same slices once per expansion,
+// which would overweight them in the map.
 func (ix *Index) KNNShared(p geom.Point, k int) ([]Neighbor, bool) {
-	if len(ix.pending) > 0 || len(ix.deleted) > 0 {
-		return nil, false // KNN folds updates in first (Flush): exclusive work
-	}
-	if k <= 0 || ix.data.Len() == 0 {
+	v := ix.live.Load()
+	if k <= 0 {
 		return nil, true
 	}
-	if k > ix.data.Len() {
-		k = ix.data.Len()
+	visible := v.table.Len() + len(v.pending) - len(v.deleted)
+	if visible <= 0 {
+		return nil, true
+	}
+	if k > visible {
+		k = visible
 	}
 	e := ix.epoch.Load()
-	span := ix.dataMBB
-	side := math.Cbrt(span.Volume() * 2 * float64(k) / float64(ix.data.Len()))
+	span := v.dataMBB
+	n := v.table.Len()
+	if n == 0 {
+		// Everything lives in pending: rank it directly.
+		nn := ix.rankVisible(nil, v, p, k)
+		if !ix.noStats {
+			ix.sharedQueries.Add(1)
+		}
+		return nn, true
+	}
+	side := math.Cbrt(span.Volume() * 2 * float64(k) / float64(n))
 	if side <= 0 || math.IsNaN(side) {
 		side = 1
 	}
@@ -263,20 +371,23 @@ func (ix *Index) KNNShared(p geom.Point, k int) ([]Neighbor, bool) {
 		}
 		side *= 2
 	}
-	if len(pos) < k {
+	nn := ix.rankVisible(pos, v, p, k)
+	if len(nn) < k {
+		// Tombstones (or a far-away p) starved the probe cube: widen to
+		// everything so the ranking below is exact.
 		pos, ok = ix.queryListShared(span.Expand(geom.Point{1, 1, 1}), ix.root, 0, pos[:0], false)
 		if !ok {
 			return nil, false
 		}
+		nn = ix.rankVisible(pos, v, p, k)
 	}
-	nn := ix.rank(pos, p, k)
 	if len(nn) >= k {
 		radius := math.Sqrt(nn[k-1].DistSq)
 		pos, ok = ix.queryListShared(geom.BoxAt(p, 2*radius+1e-9), ix.root, 0, pos[:0], false)
 		if !ok {
 			return nil, false
 		}
-		nn = ix.rank(pos, p, k)
+		nn = ix.rankVisible(pos, v, p, k)
 	}
 	if ix.epoch.Load() != e {
 		return nil, false

@@ -38,13 +38,23 @@ func TestEpochMonotonic(t *testing.T) {
 		ix.Query(q, nil)
 		check("query")
 	}
+	// Data changes publish versions instead of moving the crack epoch:
+	// DataVersion must advance, the epoch must stand still, so shared
+	// readers are never invalidated by a write burst.
+	dv := ix.DataVersion()
 	ix.Append(geom.Object{Box: geom.BoxAt(geom.Point{1, 2, 3}, 1), ID: 99_999})
-	if ix.Epoch() == last {
-		t.Fatal("Append did not move the epoch")
+	if ix.Epoch() != last {
+		t.Fatal("Append moved the crack epoch (data changes must not)")
+	}
+	if ix.DataVersion() != dv+1 {
+		t.Fatalf("Append moved DataVersion %d -> %d, want +1", dv, ix.DataVersion())
 	}
 	check("append")
 	if !ix.Delete(99_999, geom.BoxAt(geom.Point{1, 2, 3}, 1)) {
 		t.Fatal("Delete missed the appended object")
+	}
+	if ix.DataVersion() != dv+2 {
+		t.Fatalf("Delete moved DataVersion to %d, want %d", ix.DataVersion(), dv+2)
 	}
 	check("delete")
 	ix.Flush()
@@ -175,9 +185,29 @@ func TestKNNSharedMatchesKNN(t *testing.T) {
 			}
 		}
 	}
+	// Pending objects no longer evict KNN readers: the shared path merges
+	// them into the candidate ranking, so the freshly appended object at
+	// the probe point must come back first.
 	ix.Append(geom.Object{Box: geom.BoxAt(geom.Point{5, 5, 5}, 1), ID: 600_000})
-	if _, ok := ix.KNNShared(geom.Point{5, 5, 5}, 3); ok {
-		t.Fatal("KNNShared succeeded with pending objects (needs Flush)")
+	nn, ok := ix.KNNShared(geom.Point{5, 5, 5}, 3)
+	if !ok {
+		t.Fatal("KNNShared bailed on pending objects (MVCC path must serve them)")
+	}
+	if len(nn) != 3 || nn[0].ID != 600_000 || nn[0].DistSq != 0 {
+		t.Fatalf("KNNShared with pending: got %+v, want appended object first", nn)
+	}
+	// And a tombstone must hide the object again without a bail.
+	if !ix.Delete(600_000, geom.BoxAt(geom.Point{5, 5, 5}, 1)) {
+		t.Fatal("Delete missed the appended object")
+	}
+	nn, ok = ix.KNNShared(geom.Point{5, 5, 5}, 3)
+	if !ok {
+		t.Fatal("KNNShared bailed on tombstones")
+	}
+	for _, n := range nn {
+		if n.ID == 600_000 {
+			t.Fatal("KNNShared returned a tombstoned object")
+		}
 	}
 }
 

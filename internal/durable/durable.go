@@ -16,21 +16,42 @@
 //	                 shard.Snapshot); immutable once CURRENT names it
 //	wal-0000007.log  updates accepted since snapshot 7
 //
-// # Crash safety
+// # Crash safety and the zero-pause checkpoint
 //
-// Checkpointing is ordered so that a crash at any point recovers every
-// acknowledged update: the new snapshot directory is written and fsynced,
-// an empty successor WAL is created, CURRENT is atomically renamed over,
-// and only then is the old WAL retired — all while updates are paused (a
-// store-level write lock; queries keep flowing, and the per-shard files
-// are still written concurrently under shard read locks). A crash before
-// the CURRENT rename recovers from the old snapshot plus the old, complete
-// WAL; a crash after it recovers from the new snapshot plus an empty (or
-// missing, which reads as empty) WAL. Updates themselves are logged before
-// they are applied or acknowledged, so the WAL can only run ahead of the
-// in-memory state, never behind — replaying an unacknowledged tail record
-// after a crash is benign, losing an acknowledged one is impossible (under
-// FsyncAlways; the other policies trade the fsync for a bounded window).
+// A checkpoint never pauses updates for the duration of the snapshot.
+// Rotation runs in four phases:
+//
+//  1. Prepare (updates flowing): the successor WAL file and the snapshot
+//     staging directory are created.
+//  2. The cut (updates paused — the only such instants, microseconds): the
+//     live log is swapped to the successor WAL and every shard's current
+//     MVCC version is pinned (shard.Index.PinVersions). Everything
+//     acknowledged before the cut is in the pinned versions and the old
+//     WAL; everything after goes to the successor WAL and stays visible to
+//     readers immediately.
+//  3. Publish (updates flowing): the pinned versions are serialized
+//     (shard.Index.SnapshotPinnedFS — updates landing meanwhile cannot
+//     perturb them), the directory is fsynced and renamed into place, and
+//     CURRENT is atomically pointed at the new generation.
+//  4. Retire: the store's in-memory generation advances, the pins are
+//     released (letting the sub-indexes garbage-collect the superseded
+//     versions), and generations beyond the retention window are deleted.
+//
+// A crash before the CURRENT rename recovers from the old snapshot plus
+// the WAL CHAIN: the old generation's complete WAL followed by any
+// successor WALs a mid-checkpoint crash left behind (records are numbered
+// by position, so the chain replays in order with no gaps or overlaps);
+// Open then rolls the chain forward into a fresh checkpoint so the
+// invariant "one live WAL" is restored. A crash after the rename recovers
+// from the new snapshot plus the successor WAL. Updates themselves are
+// logged before they are applied or acknowledged, so the WAL can only run
+// ahead of the in-memory state, never behind — replaying an unacknowledged
+// tail record after a crash is benign, losing an acknowledged one is
+// impossible (under FsyncAlways; the other policies trade the fsync for a
+// bounded window). A checkpoint that fails after its cut leaves the store
+// correct but mid-chain (live WAL one generation ahead of CURRENT); the
+// next successful checkpoint — or recovery — reconverges, which is why
+// generation numbers may skip after a failed attempt.
 package durable
 
 import (
@@ -121,11 +142,12 @@ type Store struct {
 	opts Options
 	ix   *shard.Index
 
-	// updMu orders updates against checkpoints: updates hold it shared, a
-	// checkpoint holds it exclusively across the snapshot + CURRENT + WAL
-	// rotation so the new snapshot is a precise cut: nothing acknowledged
-	// is missing from it, nothing in the successor WAL is already inside
-	// it.
+	// updMu orders updates against the checkpoint CUT: updates hold it
+	// shared, a checkpoint holds it exclusively only across the WAL swap
+	// and version pinning (microseconds) so the cut is precise — nothing
+	// acknowledged is missing from the pinned versions, nothing in the
+	// successor WAL is already inside them. The snapshot itself is written
+	// outside the lock, from the pins.
 	updMu sync.RWMutex
 	// opMu makes one update's append+apply atomic with respect to other
 	// updates, so the WAL's record order always equals the order the
@@ -138,6 +160,12 @@ type Store struct {
 	opMu sync.Mutex
 	log  *wal.Log
 	seq  uint64
+	// walSeq is the generation of the live WAL. Equal to seq except
+	// between a checkpoint's cut and its publish (and after a checkpoint
+	// that failed post-cut), when the live WAL runs one or more
+	// generations ahead of CURRENT. Read and written under ckptMu (plus
+	// updMu exclusively for the cut itself); Open is single-threaded.
+	walSeq uint64
 
 	// ckptMu serializes whole checkpoints (the updMu exclusive section is
 	// only part of one).
@@ -178,10 +206,12 @@ type Store struct {
 	recGroup       sync.WaitGroup
 
 	// Checkpoint bookkeeping for DurabilityStats, maintained with or
-	// without a registry attached: completed checkpoints since Open and the
-	// duration of the latest one (nanoseconds).
-	ckptCount  atomic.Int64
-	ckptLastNS atomic.Int64
+	// without a registry attached: completed checkpoints since Open, the
+	// duration of the latest one, and the update pause (the cut window) of
+	// the latest one, both in nanoseconds.
+	ckptCount   atomic.Int64
+	ckptLastNS  atomic.Int64
+	ckptPauseNS atomic.Int64
 
 	// logger is Options.Logger or a discard handler; never nil after Open.
 	logger *slog.Logger
@@ -200,6 +230,7 @@ type Store struct {
 	mCkpts        *telemetry.Counter
 	mCkptFailures *telemetry.Counter
 	mCkptDur      *telemetry.Histogram
+	mCkptPause    *telemetry.Histogram
 	mRetries      *telemetry.Counter
 }
 
@@ -270,6 +301,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("replaying wal %d: %w", seq, err)
 		}
+		s.walSeq = seq
 		if err := s.scanGenerations(); err != nil {
 			return nil, fmt.Errorf("scanning generations: %w", err)
 		}
@@ -280,12 +312,37 @@ func Open(dir string, opts Options) (*Store, error) {
 			startSeq = 1
 			s.genStart[seq] = 1
 		}
-		s.nextSeq.Store(startSeq + uint64(replayed))
+		next := startSeq + uint64(replayed)
+		// A crash (or failure) mid-checkpoint leaves successor WALs past
+		// the CURRENT generation: records accepted after that checkpoint's
+		// cut. Replay the whole chain in order — numbering is positional,
+		// so the chain continues exactly where the previous WAL stopped.
+		chain := 0
+		for {
+			g := s.walSeq + 1
+			path := filepath.Join(dir, walName(g))
+			if _, statErr := os.Stat(path); statErr != nil {
+				break
+			}
+			s.registerGen(g, next)
+			oldLog := s.log
+			var n int
+			s.log, n, err = wal.OpenReplayFS(s.fs, path, s.walPolicy(), s.applyRecord)
+			if err != nil {
+				return nil, fmt.Errorf("replaying successor wal %d: %w", g, err)
+			}
+			oldLog.Close()
+			next += uint64(n)
+			replayed += n
+			s.walSeq = g
+			chain++
+		}
+		s.nextSeq.Store(next)
 		s.restoreSeq = seq
 		s.restoreReplayed = int64(replayed)
-		s.restoreSeconds = time.Since(start).Seconds()
 		s.logger.Info("durable store restored",
 			"dir", dir, "snapshot_seq", seq,
+			"wal_chain", chain+1,
 			"wal_records_replayed", replayed,
 			"wal_truncated_bytes", s.log.TruncatedBytes(),
 			"objects", s.ix.ApproxLen(),
@@ -295,8 +352,24 @@ func Open(dir string, opts Options) (*Store, error) {
 			// A torn tail is the footprint of a crash mid-append — benign
 			// (the record was never acknowledged under FsyncAlways) but
 			// worth its own line at warn.
-			s.logger.Warn("wal tail truncated", "bytes", t, "wal_seq", seq)
+			s.logger.Warn("wal tail truncated", "bytes", t, "wal_seq", s.walSeq)
 		}
+		if chain > 0 {
+			// Roll the chain forward into a fresh generation so the store
+			// leaves Open with the steady-state invariant (one live WAL,
+			// CURRENT naming its snapshot) restored. The rolled-forward
+			// snapshot contains every replayed record, so the superseded
+			// chain retires at the next GC.
+			oldLog := s.log
+			if err := s.rotateTo(s.walSeq + 1); err != nil {
+				return nil, fmt.Errorf("rolling forward wal chain: %w", err)
+			}
+			oldLog.Close()
+			s.gcGenerations()
+			s.logger.Info("rolled forward interrupted checkpoint",
+				"snapshot_seq", s.seq, "chain_replayed", chain)
+		}
+		s.restoreSeconds = time.Since(start).Seconds()
 	}
 
 	if s.walPolicy() == wal.SyncInterval {
@@ -585,40 +658,113 @@ func (s *Store) noteUpdate() {
 }
 
 // Checkpoint writes a new snapshot and retires the current WAL, returning
-// the new snapshot sequence. Updates are paused for the duration (queries
-// keep flowing); concurrent checkpoints are serialized.
+// the new snapshot sequence. Updates are NOT paused for the snapshot: the
+// checkpoint pins every shard's MVCC version during a microsecond cut (the
+// only instants updates wait) and serializes the pinned views while new
+// writes keep landing in the successor WAL. Queries are never blocked;
+// concurrent checkpoints are serialized.
 func (s *Store) Checkpoint() (uint64, error) {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	s.updMu.Lock()
-	defer s.updMu.Unlock()
-	return s.checkpointLocked()
+	return s.checkpointPinned()
 }
 
-// checkpointLocked rotates snapshot and WAL. Caller holds updMu (and
-// ckptMu) exclusively.
-func (s *Store) checkpointLocked() (uint64, error) {
+// checkpointPinned is the zero-pause rotation (phases per the package doc:
+// prepare → cut → publish → retire). Caller holds ckptMu; updMu is taken
+// exclusively only for the cut and the final generation swap.
+func (s *Store) checkpointPinned() (uint64, error) {
 	start := time.Now()
-	oldLog := s.log
-	if err := s.rotateTo(s.seq + 1); err != nil {
-		// The rotation failed before any state was swapped: the store keeps
-		// running on the old generation (CURRENT untouched, old WAL still
-		// open and appending), so a failed checkpoint is an error, not an
-		// outage.
+	newSeq := s.walSeq + 1
+	tmp := filepath.Join(s.dir, snapDirName(newSeq)+".tmp")
+	final := filepath.Join(s.dir, snapDirName(newSeq))
+
+	// Phase 1 — prepare, updates flowing: the successor WAL and the
+	// snapshot staging directory. A failure here leaves the store entirely
+	// on its old generation.
+	fail := func(err error) (uint64, error) {
 		s.mCkptFailures.Inc()
 		return 0, err
 	}
-	// Retire generations beyond the retention window (keeping at least the
-	// previous one so a bootstrapping follower can finish streaming it).
-	// Failures here are cosmetic (the old files are simply dead weight), so
-	// they are not surfaced.
-	if oldLog != nil {
-		oldLog.Close()
+	if err := s.fs.RemoveAll(tmp); err != nil {
+		return fail(err)
 	}
+	if err := s.fs.MkdirAll(tmp, 0o755); err != nil {
+		return fail(err)
+	}
+	newLog, err := wal.CreateFS(s.fs, filepath.Join(s.dir, walName(newSeq)), s.walPolicy())
+	if err != nil {
+		s.fs.RemoveAll(tmp)
+		return fail(err)
+	}
+	if s.walMetrics != nil {
+		newLog.SetMetrics(s.walMetrics)
+	}
+
+	// Phase 2 — the cut. Everything acknowledged before it is in the
+	// pinned versions and the retiring WAL; everything after goes to the
+	// successor WAL. This exclusive section is the whole update pause:
+	// one log-pointer swap plus one version pin per shard.
+	cutStart := time.Now()
+	s.updMu.Lock()
+	pins, err := s.ix.PinVersions()
+	if err != nil {
+		// Nothing swapped yet: roll the prepared files back and keep
+		// running on the old generation.
+		s.updMu.Unlock()
+		newLog.Close()
+		s.fs.Remove(filepath.Join(s.dir, walName(newSeq)))
+		s.fs.RemoveAll(tmp)
+		return fail(err)
+	}
+	cutSeq := s.nextSeq.Load()
+	oldLog := s.log
+	s.log = newLog
+	s.walSeq = newSeq
+	s.registerGen(newSeq, cutSeq)
+	s.updMu.Unlock()
+	pause := time.Since(cutStart)
+	s.ckptPauseNS.Store(int64(pause))
+	s.mCkptPause.ObserveDuration(pause)
+	defer pins.Release()
+
+	// Phase 3 — publish, updates flowing: serialize the pinned versions,
+	// fsync, rename into place, point CURRENT at the new generation. A
+	// failure from here on leaves the store mid-chain but correct: records
+	// keep landing in the successor WAL, CURRENT still names the old
+	// generation, and recovery (or the next checkpoint) replays the chain.
+	if err := s.ix.SnapshotPinnedFS(tmp, s.fs, pins); err != nil {
+		s.fs.RemoveAll(tmp)
+		return fail(err)
+	}
+	if err := writeReplMeta(s.fs, tmp, cutSeq); err != nil {
+		s.fs.RemoveAll(tmp)
+		return fail(err)
+	}
+	if err := s.fs.RemoveAll(final); err != nil {
+		return fail(err)
+	}
+	if err := s.fs.Rename(tmp, final); err != nil {
+		return fail(err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fail(err)
+	}
+	if err := writeCurrent(s.fs, s.dir, newSeq); err != nil {
+		return fail(err)
+	}
+
+	// Phase 4 — retire: advance the in-memory generation, release the old
+	// log, garbage-collect generations beyond the retention window
+	// (keeping at least the previous one so a bootstrapping follower can
+	// finish streaming it; GC failures are cosmetic dead weight).
+	s.updMu.Lock()
+	s.seq = newSeq
 	s.gcGenerations()
+	s.updMu.Unlock()
+	oldLog.Close()
 	s.updates.Store(0)
 	elapsed := time.Since(start)
 	s.ckptCount.Add(1)
@@ -630,22 +776,23 @@ func (s *Store) checkpointLocked() (uint64, error) {
 		// the store is durable again, writes may flow.
 		s.degradedReason.Store("")
 		s.logger.Info("degraded mode cleared by successful checkpoint",
-			"snapshot_seq", s.seq)
+			"snapshot_seq", newSeq)
 	}
 	s.logger.Info("checkpoint complete",
-		"snapshot_seq", s.seq, "objects", s.ix.ApproxLen(),
-		"elapsed_ms", elapsed.Milliseconds())
-	return s.seq, nil
+		"snapshot_seq", newSeq, "objects", s.ix.ApproxLen(),
+		"elapsed_ms", elapsed.Milliseconds(),
+		"update_pause_us", pause.Microseconds())
+	return newSeq, nil
 }
 
-// rotateTo writes snapshot newSeq, opens its (empty) WAL, and atomically
-// points CURRENT at the new generation — in that order, so a failure at any
-// step leaves the store entirely on the previous generation (s.log, s.seq
-// and on-disk CURRENT are only changed once every step succeeded), and a
-// crash at any instant recovers a consistent generation: before the CURRENT
-// rename the old snapshot + old WAL, after it the new snapshot + empty WAL.
-// The caller retires the previous generation's files. Caller holds updMu
-// exclusively (or is bootstrapping, before the store is shared).
+// rotateTo writes snapshot newSeq from the LIVE index, opens its (empty)
+// WAL, and atomically points CURRENT at the new generation — in that
+// order, so a failure at any step leaves the store entirely on the
+// previous generation, and a crash at any instant recovers a consistent
+// generation. It is the Open-time rotation (bootstrap and WAL-chain
+// roll-forward, both single-threaded — no updates exist to pause); the
+// runtime checkpoint is checkpointPinned, which snapshots pinned versions
+// instead. The caller retires the previous generation's files.
 func (s *Store) rotateTo(newSeq uint64) error {
 	tmp := filepath.Join(s.dir, snapDirName(newSeq)+".tmp")
 	final := filepath.Join(s.dir, snapDirName(newSeq))
@@ -690,6 +837,7 @@ func (s *Store) rotateTo(newSeq uint64) error {
 	}
 	s.log = log
 	s.seq = newSeq
+	s.walSeq = newSeq
 	s.registerGen(newSeq, s.nextSeq.Load())
 	return nil
 }
@@ -711,16 +859,15 @@ func (s *Store) Close() error {
 	s.recGroup.Wait()
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	s.updMu.Lock()
-	defer s.updMu.Unlock()
-	if _, err := s.checkpointLocked(); err != nil {
+	seq, err := s.checkpointPinned()
+	if err != nil {
 		s.logger.Error("final checkpoint on close failed", "err", err)
 		if s.log != nil {
 			s.log.Close()
 		}
 		return err
 	}
-	s.logger.Info("durable store closed", "snapshot_seq", s.seq)
+	s.logger.Info("durable store closed", "snapshot_seq", seq)
 	return s.log.Close()
 }
 

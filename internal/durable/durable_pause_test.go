@@ -1,0 +1,208 @@
+// The zero-update-pause proof for the pinned checkpoint. A gate file
+// system stalls the snapshot's shard-file writes — the phase that used to
+// run under the exclusive update lock — and while the checkpoint hangs
+// there mid-rotation, updates must be accepted, acknowledged and visible.
+// Afterwards the two recovery legs are checked against their oracles: the
+// pinned snapshot alone restores to exactly the pre-cut state, and a full
+// (crash-style, no Close) reopen replays the successor WAL back to the
+// final acknowledged state.
+
+package durable
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/faultfs"
+	"repro/internal/geom"
+	"repro/internal/shard"
+)
+
+// gateFS passes everything through to the wrapped FS except that, once
+// armed, Create calls whose path contains match block until the gate
+// channel is closed. The first blocked call closes entered.
+type gateFS struct {
+	faultfs.FS
+	match   string
+	armed   atomic.Bool
+	gate    chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func newGateFS(match string) *gateFS {
+	return &gateFS{
+		FS:      faultfs.OS{},
+		match:   match,
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}),
+	}
+}
+
+func (g *gateFS) Create(name string) (faultfs.File, error) {
+	if g.armed.Load() && strings.Contains(name, g.match) {
+		g.once.Do(func() { close(g.entered) })
+		<-g.gate
+	}
+	return g.FS.Create(name)
+}
+
+func universeWriteIDs(ix *shard.Index) map[int32]struct{} {
+	ids := ix.Query(geom.UniverseBox(), nil)
+	set := make(map[int32]struct{}, len(ids))
+	for _, id := range ids {
+		set[id] = struct{}{}
+	}
+	return set
+}
+
+func TestCheckpointZeroUpdatePause(t *testing.T) {
+	dir := t.TempDir()
+	gate := newGateFS("shard-")
+	base := dataset.Uniform(400, 41)
+	store, err := Open(dir, Options{
+		Shard:     shard.Config{Shards: 2},
+		Bootstrap: func() []geom.Object { return base },
+		Fsync:     FsyncNever,
+		FS:        gate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkObjs := func(first int32, n int) []geom.Object {
+		objs := make([]geom.Object, n)
+		for i := range objs {
+			objs[i] = geom.Object{
+				Box: geom.BoxAt(base[i%len(base)].Center(), 1),
+				ID:  first + int32(i),
+			}
+		}
+		return objs
+	}
+	setA := mkObjs(1_000_000, 50)
+	if err := store.Insert(setA...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the gate and start the checkpoint. Its cut (WAL swap + version
+	// pin) happens before any snapshot file is created, so by the time the
+	// gate reports entered, the checkpoint is mid-rotation with the pins
+	// held — exactly the window that used to pause updates.
+	gate.armed.Store(true)
+	type ckptRes struct {
+		seq uint64
+		err error
+	}
+	done := make(chan ckptRes, 1)
+	go func() {
+		seq, err := store.Checkpoint()
+		done <- ckptRes{seq, err}
+	}()
+	select {
+	case <-gate.entered:
+	case res := <-done:
+		t.Fatalf("checkpoint finished (seq %d, err %v) without writing a shard file", res.seq, res.err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("checkpoint never reached the snapshot write")
+	}
+
+	// Updates while the checkpoint hangs mid-rotation: they must be acked
+	// promptly (a watchdog, not a latency assertion) and immediately
+	// visible to live queries.
+	setB := mkObjs(2_000_000, 50)
+	ackedB := make(chan error, 1)
+	go func() { ackedB <- store.Insert(setB...) }()
+	select {
+	case err := <-ackedB:
+		if err != nil {
+			t.Fatalf("insert during checkpoint: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("updates paused: insert blocked while checkpoint mid-rotation")
+	}
+	live := universeWriteIDs(store.Index())
+	for _, o := range append(append([]geom.Object(nil), setA...), setB...) {
+		if _, ok := live[o.ID]; !ok {
+			t.Fatalf("acked insert %d invisible while checkpoint mid-rotation", o.ID)
+		}
+	}
+	select {
+	case res := <-done:
+		t.Fatalf("checkpoint completed (seq %d, err %v) while its shard write was gated", res.seq, res.err)
+	default:
+	}
+
+	// Release the gate; the checkpoint must complete and record a cut
+	// pause far below the snapshot's wall time (the pause is the WAL swap
+	// plus per-shard pinning, not the file writes).
+	close(gate.gate)
+	var res ckptRes
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("checkpoint did not finish after gate release")
+	}
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if pause := time.Duration(store.ckptPauseNS.Load()); pause <= 0 || pause > time.Second {
+		t.Fatalf("recorded update pause %v, want (0s, 1s]", pause)
+	}
+
+	// Recovery leg 1 — the pinned snapshot alone: restoring the generation
+	// the checkpoint wrote must yield exactly the pre-cut oracle state
+	// (base + A), with nothing from B, even though B was acked before the
+	// snapshot files were written.
+	re, err := shard.Restore(SnapshotDir(dir, res.seq), shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := universeWriteIDs(re)
+	if want := len(base) + len(setA); len(snap) != want {
+		t.Fatalf("pinned snapshot restored %d objects, want %d", len(snap), want)
+	}
+	for _, o := range setA {
+		if _, ok := snap[o.ID]; !ok {
+			t.Fatalf("pre-cut insert %d missing from pinned snapshot", o.ID)
+		}
+	}
+	for _, o := range setB {
+		if _, ok := snap[o.ID]; ok {
+			t.Fatalf("post-cut insert %d leaked into pinned snapshot", o.ID)
+		}
+	}
+
+	// Recovery leg 2 — crash-style reopen (no Close, so no extra
+	// checkpoint): the successor WAL replays B on top of the snapshot,
+	// recovering the full acknowledged state.
+	reopened, err := Open(dir, Options{
+		Shard:     shard.Config{Shards: 2},
+		Bootstrap: func() []geom.Object { return base },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reopened.Seq(); got != res.seq {
+		t.Fatalf("reopened at generation %d, checkpoint wrote %d", got, res.seq)
+	}
+	full := universeWriteIDs(reopened.Index())
+	for _, o := range append(append([]geom.Object(nil), setA...), setB...) {
+		if _, ok := full[o.ID]; !ok {
+			t.Fatalf("acked insert %d lost across recovery", o.ID)
+		}
+	}
+	if want := len(base) + len(setA) + len(setB); len(full) != want {
+		t.Fatalf("recovered %d objects, want %d", len(full), want)
+	}
+	if err := reopened.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,6 +28,9 @@ func (s *Store) Instrument(reg *telemetry.Registry) {
 	s.mCkptDur = reg.Histogram("quasii_store_checkpoint_duration_seconds",
 		"Wall time of one checkpoint: snapshot write, WAL rotation, retirement.",
 		telemetry.DurationBuckets)
+	s.mCkptPause = reg.Histogram("quasii_durable_checkpoint_pause_seconds",
+		"Update pause of one checkpoint — the cut only (WAL swap plus per-shard version pin); the snapshot itself writes with updates flowing.",
+		telemetry.DurationBuckets)
 	reg.GaugeFunc("quasii_store_wal_size_bytes",
 		"Current write-ahead log length.",
 		func() float64 { return float64(s.WALSize()) })

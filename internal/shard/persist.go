@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/faultfs"
@@ -46,6 +47,23 @@ type Saver interface {
 // config requests custom sub-indexes (snapshot files always decode into the
 // default QUASII sub-indexes).
 var ErrNotPersistable = errors.New("shard: sub-index does not support persistence (Saver)")
+
+// VersionPinner is the optional sub-index interface behind pinned
+// (zero-pause) snapshots: PinVersion pins the current MVCC version against
+// garbage collection and SaveVersion serializes exactly that version's
+// view, both while later updates keep publishing new versions. The default
+// QUASII sub-indexes (core.Index) qualify. Both methods must be called
+// under the shard's read lock (the engine's PinVersions/SnapshotPinnedFS
+// handle that).
+type VersionPinner interface {
+	PinVersion() *core.Version
+	SaveVersion(w io.Writer, v *core.Version) error
+}
+
+// ErrNotVersioned is returned by PinVersions when a shard's sub-index does
+// not satisfy VersionPinner; callers fall back to the pause-and-Snapshot
+// checkpoint discipline.
+var ErrNotVersioned = errors.New("shard: sub-index does not support versioned snapshots (VersionPinner)")
 
 // ManifestName is the file binding a snapshot directory together. It is
 // written last, so a directory without it is an aborted snapshot.
@@ -224,6 +242,175 @@ func writeManifest(fsys faultfs.FS, path string, m *manifest) error {
 	return f.Close()
 }
 
+// pinnedShard is one shard's pinned version plus everything the manifest
+// needs about it, captured under the shard's read lock at pin time.
+type pinnedShard struct {
+	sh       *shardEntry
+	pin      VersionPinner
+	ver      *core.Version
+	file     string
+	tile     geom.Box
+	bounds   geom.Box
+	overflow bool
+}
+
+// PinSet is a consistent-per-shard set of pinned MVCC versions: one per
+// shard that existed at pin time. It is the handle behind the zero-pause
+// durable checkpoint — pin, let updates continue, serialize the pinned
+// views with SnapshotPinnedFS, then Release. A PinSet must be Released
+// exactly once; Release is idempotent so deferred cleanup is safe.
+type PinSet struct {
+	pins     []pinnedShard
+	tileMBB  geom.Box
+	released atomic.Bool
+}
+
+// PinVersions pins every shard's current MVCC version — each under its
+// shard's read lock, shards visited one at a time — and returns the set.
+// Like Snapshot, the pin refuses a quarantined engine (a poisoned
+// structure must never reach a checkpoint) and, like Snapshot, the set is
+// per-shard consistent but not a cross-shard point-in-time cut; the
+// durable store brackets PinVersions with its own update cut to get one.
+// An overflow shard created after PinVersions returns is not in the set
+// (objects routed there after the cut belong to the next checkpoint's log
+// anyway). Returns ErrNotVersioned when a sub-index cannot pin.
+func (ix *Index) PinVersions() (*PinSet, error) {
+	ps := &PinSet{tileMBB: ix.tileMBB}
+	fail := func(err error) (*PinSet, error) {
+		ps.Release()
+		return nil, err
+	}
+	add := func(sh *shardEntry, file string, tile geom.Box, overflow bool) error {
+		if sh.quarantined.Load() {
+			return fmt.Errorf("pin refused, %s: %w", file, ErrQuarantined)
+		}
+		pin, ok := sh.sub.(VersionPinner)
+		if !ok {
+			return ErrNotVersioned
+		}
+		sh.mu.RLock()
+		ver := pin.PinVersion()
+		bounds := sh.boundsBox()
+		sh.mu.RUnlock()
+		ps.pins = append(ps.pins, pinnedShard{
+			sh: sh, pin: pin, ver: ver, file: file, tile: tile, bounds: bounds, overflow: overflow,
+		})
+		return nil
+	}
+	for i, sh := range ix.shards {
+		if err := add(sh, shardFileName(i), sh.tile, false); err != nil {
+			return fail(err)
+		}
+	}
+	if sh := ix.overflow.Load(); sh != nil {
+		if err := add(sh, overflowFileName, geom.EmptyBox(), true); err != nil {
+			return fail(err)
+		}
+	}
+	return ps, nil
+}
+
+// Versions returns the pinned version of every shard in the set, in shard
+// order (overflow last, when present). Test harnesses read these to audit
+// visibility against an oracle.
+func (ps *PinSet) Versions() []*core.Version {
+	out := make([]*core.Version, len(ps.pins))
+	for i := range ps.pins {
+		out[i] = ps.pins[i].ver
+	}
+	return out
+}
+
+// Release unpins every version in the set, letting the sub-indexes garbage
+// collect superseded versions. Idempotent; safe to defer alongside an
+// explicit call on the success path.
+func (ps *PinSet) Release() {
+	if ps == nil || ps.released.Swap(true) {
+		return
+	}
+	for i := range ps.pins {
+		p := &ps.pins[i]
+		p.sh.mu.RLock()
+		p.ver.Release()
+		p.sh.mu.RUnlock()
+	}
+}
+
+// SnapshotPinned writes the pinned versions into dir — the zero-pause
+// counterpart of Snapshot: the files describe exactly the state at pin
+// time no matter how many updates landed since.
+func (ix *Index) SnapshotPinned(dir string, ps *PinSet) error {
+	return ix.SnapshotPinnedFS(dir, faultfs.OS{}, ps)
+}
+
+// SnapshotPinnedFS is SnapshotPinned over an injectable file system. Shard
+// files are written concurrently, each under its shard's read lock (the
+// pinned version's lanes may still be reorganized in place by cracking on
+// the live generation; the read lock excludes that). A shard quarantined
+// since the pin vetoes the snapshot, exactly as in SnapshotFS: its pinned
+// version shares storage with the structure that just panicked.
+func (ix *Index) SnapshotPinnedFS(dir string, fsys faultfs.FS, ps *PinSet) error {
+	type job struct {
+		p   *pinnedShard
+		err error
+	}
+	jobs := make([]*job, 0, len(ps.pins))
+	for i := range ps.pins {
+		p := &ps.pins[i]
+		if p.sh.quarantined.Load() {
+			return fmt.Errorf("snapshot refused, %s: %w", p.file, ErrQuarantined)
+		}
+		jobs = append(jobs, &job{p: p})
+	}
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j *job) {
+			defer wg.Done()
+			j.err = writePinnedShardFile(fsys, filepath.Join(dir, j.p.file), j.p)
+		}(j)
+	}
+	wg.Wait()
+
+	m := manifest{Version: manifestVersion, TileMBB: boxToManifest(ps.tileMBB)}
+	for _, j := range jobs {
+		if j.err != nil {
+			return j.err
+		}
+		if j.p.overflow {
+			m.Overflow = &overflowEntry{File: j.p.file, Bounds: boxToManifest(j.p.bounds)}
+			continue
+		}
+		m.Shards = append(m.Shards, shardRecord{
+			File: j.p.file, Tile: boxToManifest(j.p.tile), Bounds: boxToManifest(j.p.bounds),
+		})
+	}
+	return writeManifest(fsys, filepath.Join(dir, ManifestName), &m)
+}
+
+// writePinnedShardFile saves one pinned version to path under its shard's
+// read lock and fsyncs the file. Bounds come from pin time (captured under
+// the same lock as the pin itself), so the manifest covers exactly the
+// objects the pinned version holds.
+func writePinnedShardFile(fsys faultfs.FS, path string, p *pinnedShard) error {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	p.sh.mu.RLock()
+	err = p.pin.SaveVersion(f, p.ver)
+	p.sh.mu.RUnlock()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("saving %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // Restore reassembles a sharded index from a snapshot directory written by
 // Snapshot. Shard files are loaded concurrently. The restored engine keeps
 // the snapshot's spatial layout (tiles, live bounds, overflow shard) and
@@ -265,6 +452,10 @@ func Restore(dir string, cfg Config) (*Index, error) {
 		ix.crackBudget = DefaultCrackBudget
 	}
 	ix.noShared = cfg.DisableSharedReads
+	ix.versionHorizon = cfg.VersionHorizon
+	if ix.versionHorizon == 0 {
+		ix.versionHorizon = DefaultVersionHorizon
+	}
 
 	errs := make([]error, len(m.Shards)+1)
 	var wg sync.WaitGroup

@@ -142,6 +142,40 @@ func (sh *shardEntry) appendProbe(up Updatable, o geom.Object) (healthy bool) {
 	return true
 }
 
+// appendSharedProbe applies one insert under the READ lock with panic
+// isolation — the MVCC fast path: a versioned sub-index publishes the
+// append as a new immutable version (writers serialize on the sub-index's
+// own version mutex), so concurrent shared readers keep flowing and only
+// structural work (cracking, Flush) ever takes the shard's write lock.
+func (sh *shardEntry) appendSharedProbe(vu VersionedUpdatable, o geom.Object) (healthy bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.poison(r)
+		}
+	}()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	vu.Append(o)
+	return true
+}
+
+// deleteSharedProbe attempts one tombstone under the READ lock with panic
+// isolation. handled == false means the sub-index could not resolve the
+// delete read-only (an unconverged region needs the exclusive locate path)
+// and the caller must escalate to deleteProbe.
+func (sh *shardEntry) deleteSharedProbe(vu VersionedUpdatable, id int32, hint geom.Box) (found, handled, healthy bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.poison(r)
+		}
+	}()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	found, handled = vu.DeleteShared(id, hint)
+	healthy = true
+	return
+}
+
 // deleteProbe applies one delete under the write lock with panic isolation.
 func (sh *shardEntry) deleteProbe(up Updatable, id int32, hint geom.Box) (found, healthy bool) {
 	defer func() {

@@ -36,6 +36,7 @@
 package shard
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -108,9 +109,24 @@ type Config struct {
 	CrackBudget int
 	// DisableSharedReads forces every query through the exclusive path
 	// even when the sub-index supports QueryShared. It exists for ablation
-	// benchmarks (the exclusive-lock baseline) and as an escape hatch.
+	// benchmarks (the exclusive-lock baseline) and as an escape hatch. It
+	// also disables the versioned (read-locked) update path: writers fall
+	// back to the exclusive probes, matching the ablation baseline.
 	DisableSharedReads bool
+	// VersionHorizon bounds the MVCC version chain a sub-index may retain
+	// (live version plus pinned predecessors). CheckInvariants fails when a
+	// chain exceeds it — a longer chain means a leaked pin, since the
+	// engine's own pins (checkpoints) hold at most one predecessor per
+	// shard at a time. 0 selects DefaultVersionHorizon; negative disables
+	// the check.
+	VersionHorizon int
 }
+
+// DefaultVersionHorizon is the version-chain bound when Config.VersionHorizon
+// is 0. A healthy engine holds 1 version per shard when quiescent and 2
+// during a checkpoint; 8 leaves room for stacked snapshot readers in tests
+// without masking a real pin leak.
+const DefaultVersionHorizon = 8
 
 // DefaultCrackBudget is the per-query crack budget when Config.CrackBudget
 // is 0. Crack passes shrink geometrically as refinement deepens, so 64
@@ -122,15 +138,16 @@ const DefaultCrackBudget = 64
 // QUASII work counters of every sub-index that exposes them (sub-indexes
 // built by a custom Config.New without a Stats method contribute zeros).
 type Stats struct {
-	Shards      int        // number of spatial shards (excluding overflow)
-	Objects     int        // total live objects indexed (including overflow)
-	MinShardLen int        // objects in the smallest spatial shard
-	MaxShardLen int        // objects in the largest spatial shard
-	OverflowLen int        // objects in the overflow shard (0 when absent)
-	Quarantined int        // shards quarantined after a sub-index panic (incl. overflow)
-	Pending     int        // appended objects not yet folded in (see Flush)
-	Deleted     int        // tombstoned objects awaiting compaction
-	Core        core.Stats // summed QUASII work counters
+	Shards       int        // number of spatial shards (excluding overflow)
+	Objects      int        // total live objects indexed (including overflow)
+	MinShardLen  int        // objects in the smallest spatial shard
+	MaxShardLen  int        // objects in the largest spatial shard
+	OverflowLen  int        // objects in the overflow shard (0 when absent)
+	Quarantined  int        // shards quarantined after a sub-index panic (incl. overflow)
+	Pending      int        // appended objects not yet folded in (see Flush)
+	Deleted      int        // tombstoned objects awaiting compaction
+	VersionsLive int        // MVCC versions retained across all sub-indexes
+	Core         core.Stats // summed QUASII work counters
 }
 
 // statser is satisfied by sub-indexes that report QUASII work counters.
@@ -160,6 +177,7 @@ type shardEntry struct {
 	shared      SharedQueryable
 	sharedNN    SharedNearestNeighborer
 	budgeted    BudgetedQueryable
+	versioned   VersionedUpdatable
 	crackBudget int // per-exclusive-query crack budget; < 0 = unlimited
 
 	// Path counters, shared by all entries of one engine and nil until
@@ -207,6 +225,8 @@ type Index struct {
 	// construction (the lazy overflow shard).
 	crackBudget int
 	noShared    bool
+	// versionHorizon bounds the MVCC chain per sub-index; < 0 disables.
+	versionHorizon int
 	// sem globally bounds intra-query fan-out goroutines across all
 	// concurrent Query calls. Slots are never acquired nested, so the
 	// semaphore cannot deadlock.
@@ -253,6 +273,10 @@ func New(data []geom.Object, cfg Config) *Index {
 		ix.crackBudget = DefaultCrackBudget
 	}
 	ix.noShared = cfg.DisableSharedReads
+	ix.versionHorizon = cfg.VersionHorizon
+	if ix.versionHorizon == 0 {
+		ix.versionHorizon = DefaultVersionHorizon
+	}
 	for i, part := range parts {
 		sh := ix.newEntry(build(part), geom.MBB(part))
 		sh.bounds.Store(&sh.tile)
@@ -280,6 +304,9 @@ func (ix *Index) newEntry(sub Queryable, tile geom.Box) *shardEntry {
 		}
 		if nn, ok := sub.(SharedNearestNeighborer); ok {
 			sh.sharedNN = nn
+		}
+		if vu, ok := sub.(VersionedUpdatable); ok {
+			sh.versioned = vu
 		}
 	}
 	if bq, ok := sub.(BudgetedQueryable); ok {
@@ -387,6 +414,9 @@ func (ix *Index) collect(sh *shardEntry, st *Stats) int {
 	if d, ok := sh.sub.(interface{ Deleted() int }); ok {
 		st.Deleted += d.Deleted()
 	}
+	if lv, ok := sh.sub.(interface{ LiveVersions() int }); ok {
+		st.VersionsLive += lv.LiveVersions()
+	}
 	return n
 }
 
@@ -407,8 +437,10 @@ func (ix *Index) Complete() {
 
 // CheckInvariants validates the structural invariants of every sub-index
 // that exposes them (the default QUASII sub-indexes do), under each shard's
-// write lock so a quiesced check sees a frozen structure. It returns the
-// first violation found. Intended for tests and stress harnesses.
+// write lock so a quiesced check sees a frozen structure, and bounds every
+// sub-index's MVCC version chain by Config.VersionHorizon (a longer chain
+// means a leaked pin). It returns the first violation found. Intended for
+// tests and stress harnesses.
 func (ix *Index) CheckInvariants() error {
 	var err error
 	ix.forEach(func(sh *shardEntry) {
@@ -419,6 +451,17 @@ func (ix *Index) CheckInvariants() error {
 			sh.mu.Lock()
 			err = ci.CheckInvariants()
 			sh.mu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+		if lv, ok := sh.sub.(interface{ LiveVersions() int }); ok && ix.versionHorizon > 0 {
+			sh.mu.RLock()
+			n := lv.LiveVersions()
+			sh.mu.RUnlock()
+			if n > ix.versionHorizon {
+				err = fmt.Errorf("shard: version chain holds %d versions, horizon is %d (leaked pin?)", n, ix.versionHorizon)
+			}
 		}
 	})
 	return err

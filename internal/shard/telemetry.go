@@ -160,6 +160,10 @@ func (ix *Index) Instrument(reg *telemetry.Registry) {
 			return float64(s.st.Core.SharedQueries) / total
 		}))
 
+	reg.GaugeFunc("quasii_core_versions_live",
+		"MVCC versions retained across all sub-indexes: one per shard when quiescent, one extra per shard while a checkpoint holds its pin. A plateau above that means a leaked pin.",
+		get(func(s *scrapeSnap) float64 { return float64(s.st.VersionsLive) }))
+
 	// Engine shape and occupancy.
 	reg.GaugeFunc("quasii_shard_count_shards",
 		"Spatial shards (excluding the overflow shard).",

@@ -6,22 +6,26 @@
 //
 // # Consistency contract
 //
-// Each object lives in exactly one shard, and every shard-level operation
-// runs under that shard's read-write lock — updates and cracking queries
-// exclusively, converged read-path queries sharing the read lock — so the
-// engine provides per-object atomicity: an Insert or Delete that has
-// returned is visible to every query that starts afterwards (the shared
-// read path scans the pending buffer and filters tombstones exactly like
-// the exclusive path). There is no multi-object or cross-shard
-// atomicity — a Query concurrent with a multi-object Insert may observe any
-// prefix of it, and a multi-shard Query locks its shards one at a time, so
-// two overlapping queries racing one update may disagree on whether they
-// saw it. Deletes take effect immediately (tombstones filter results before
-// compaction); inserts are visible immediately too (the pending buffer is
-// scanned by every query) but cost O(pending) per query until Flush folds
-// them into the indexed arrays. Shard bounding boxes only ever grow —
-// deleting the outermost object does not shrink the box — which keeps
-// concurrent routing lock-free and is conservative but always correct.
+// Each object lives in exactly one shard. With the default MVCC sub-indexes
+// (core.Index), data changes are versioned: an Insert or Delete publishes a
+// new immutable version with an atomic pointer swap under the shard's READ
+// lock, so writers never evict concurrent readers — only structural work
+// (cracking, Flush) takes the write lock. The engine provides per-object
+// atomicity: an Insert or Delete that has returned is visible to every
+// query that starts afterwards (a reader loads the version head once and
+// sees every version published before that load). There is no multi-object
+// or cross-shard atomicity — a Query concurrent with a multi-object Insert
+// may observe any prefix of it, and a multi-shard Query visits its shards
+// one at a time, so two overlapping queries racing one update may disagree
+// on whether they saw it. Deletes take effect immediately (tombstones
+// filter results before compaction); inserts are visible immediately too
+// (the pending delta is scanned by every query) but cost O(pending) per
+// query until Flush folds them into the indexed arrays. Shard bounding
+// boxes only ever grow — deleting the outermost object does not shrink the
+// box — which keeps concurrent routing lock-free and is conservative but
+// always correct. Sub-indexes that satisfy only Updatable (not
+// VersionedUpdatable) keep the pre-MVCC behaviour: every update runs under
+// the write lock.
 
 package shard
 
@@ -48,13 +52,32 @@ type Updatable interface {
 // sub-indexes (built by a custom Config.New) do not satisfy Updatable.
 var ErrNotUpdatable = errors.New("shard: sub-index does not support updates (Updatable)")
 
+// VersionedUpdatable is the optional sub-index interface behind the
+// non-blocking (MVCC) update path. An implementation must publish data
+// changes as immutable versions so that Append and DeleteShared are safe
+// under the shard's READ lock, concurrent with any number of shared
+// readers: Append appends to a copy-on-write pending delta, DeleteShared
+// publishes a tombstone without reorganizing the structure (ok == false
+// when it cannot — the engine escalates to the write-locked Delete).
+// DataVersion returns the current version sequence number and LiveVersions
+// the chain length (live version plus pinned predecessors). The default
+// QUASII sub-indexes (core.Index) qualify.
+type VersionedUpdatable interface {
+	Updatable
+	DeleteShared(id int32, hint geom.Box) (found, ok bool)
+	DataVersion() uint64
+	LiveVersions() int
+}
+
 // Insert routes each object to the shard owning its tile — the spatial
 // shard whose build-time tile box is nearest to the object's center, or the
 // overflow shard when the center falls outside the union of all tiles —
 // and appends it there. The shard's live bounding box is grown first, so a
-// query that starts after Insert returns cannot miss the object. Safe for
-// concurrent use. Returns ErrNotUpdatable when the sub-indexes do not
-// support updates.
+// query that starts after Insert returns cannot miss the object. With
+// versioned sub-indexes the append runs under the shard's read lock — it
+// publishes a new version instead of mutating shared state, so concurrent
+// readers are never evicted. Safe for concurrent use. Returns
+// ErrNotUpdatable when the sub-indexes do not support updates.
 func (ix *Index) Insert(objs ...geom.Object) error {
 	for i := range objs {
 		sh, err := ix.route(&objs[i])
@@ -66,7 +89,13 @@ func (ix *Index) Insert(objs ...geom.Object) error {
 			return ErrNotUpdatable
 		}
 		sh.extendBounds(objs[i].Box)
-		if !sh.appendProbe(up, objs[i]) {
+		healthy := false
+		if sh.versioned != nil {
+			healthy = sh.appendSharedProbe(sh.versioned, objs[i])
+		} else {
+			healthy = sh.appendProbe(up, objs[i])
+		}
+		if !healthy {
 			return fmt.Errorf("%w (insert of id %d dropped)", ErrQuarantined, objs[i].ID)
 		}
 		ix.count.Add(1)
@@ -137,8 +166,12 @@ func (ix *Index) ensureOverflow() (*shardEntry, error) {
 // Delete removes the object with the given ID, using hint (typically the
 // object's own box, as in core.Index.Delete) to locate it: every shard
 // whose live bounds intersect the hint is probed in shard order until one
-// reports the object found. It reports whether an object was deleted. Safe
-// for concurrent use.
+// reports the object found. With versioned sub-indexes the tombstone is
+// first attempted under the shard's read lock (DeleteShared publishes a
+// new version without blocking readers); only when the sub-index cannot
+// locate the object read-only — an unconverged region — does the probe
+// escalate to the write lock. It reports whether an object was deleted.
+// Safe for concurrent use.
 func (ix *Index) Delete(id int32, hint geom.Box) (bool, error) {
 	var hitBuf [16]*shardEntry
 	for _, sh := range ix.overlapping(hint, hitBuf[:0]) {
@@ -146,7 +179,16 @@ func (ix *Index) Delete(id int32, hint geom.Box) (bool, error) {
 		if !ok {
 			return false, ErrNotUpdatable
 		}
-		found, healthy := sh.deleteProbe(up, id, hint)
+		var found, healthy bool
+		if sh.versioned != nil {
+			var handled bool
+			found, handled, healthy = sh.deleteSharedProbe(sh.versioned, id, hint)
+			if healthy && !handled {
+				found, healthy = sh.deleteProbe(up, id, hint)
+			}
+		} else {
+			found, healthy = sh.deleteProbe(up, id, hint)
+		}
 		if !healthy {
 			continue // shard just quarantined itself; probe the rest
 		}

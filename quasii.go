@@ -94,6 +94,11 @@ type (
 	QUASIIConfig = core.Config
 	// QUASIIStats reports the cumulative indexing work QUASII performed.
 	QUASIIStats = core.Stats
+	// QUASIIVersion is one immutable MVCC snapshot of a QUASII index's
+	// update state, obtained from PinVersion and released with Release.
+	// While pinned, its view survives appends, deletes, flushes and
+	// checkpoints; SaveVersion serializes exactly that view.
+	QUASIIVersion = core.Version
 )
 
 // AssignMode values for QUASIIConfig.Assign.

@@ -38,8 +38,11 @@ echo "== 1. chaos run: kill/restart mid-load, oracle on every response"
 # The workload is sized so the kill cadence lands well inside the run; a
 # sluggish CI machine only stretches the run, which gives the kills more
 # room, never less.
+# -audit-visibility holds the chaos run to read-your-writes across every
+# restart window: an acked insert invisible to its own client's re-read —
+# even one acked moments before a SIGKILL — fails the run.
 OUT=$("$DIR/quasii-loadgen" -addr "$BASE" -oracle -check-metrics \
-  -n $N -seed $SEED -clients 4 -queries 30000 -selectivity 1e-4 \
+  -n $N -seed $SEED -clients 4 -queries 30000 -selectivity 1e-4 -audit-visibility \
   -chaos "$DIR/quasii-serve -addr $ADDR -n $N -seed $SEED -data-dir $DIR/data -fsync always -checkpoint-every 0 -log-format json" \
   -chaos-kills 2 -chaos-interval 250ms | tee /dev/stderr)
 
@@ -62,7 +65,7 @@ echo "== 2. the surviving data dir still serves the exact base dataset"
   -fsync always -checkpoint-every 0 -log-format json &
 SRV_PID=$!
 "$DIR/quasii-loadgen" -addr "$BASE" -oracle -n $N -seed $SEED \
-  -clients 4 -queries 300 -wait 30s
+  -clients 4 -queries 300 -audit-visibility -wait 30s
 
 kill -TERM "$SRV_PID"
 wait "$SRV_PID" || true

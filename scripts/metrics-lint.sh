@@ -14,8 +14,9 @@ set -eu
 
 SUBSYSTEMS='http|server|shard|core|wal|store|fault|durable|repl'
 # "degraded" is the boolean-gauge unit of quasii_durable_degraded (0/1);
-# "records" the lag unit of quasii_repl_lag_records.
-UNITS='total|seconds|bytes|ratio|objects|queries|requests|shards|slices|seq|degraded|records'
+# "records" the lag unit of quasii_repl_lag_records; "live" the count unit
+# of quasii_core_versions_live (MVCC versions currently alive).
+UNITS='total|seconds|bytes|ratio|objects|queries|requests|shards|slices|seq|degraded|records|live'
 
 # Every string literal that looks like a metric name, wherever registered.
 # Excluded: tests (they register throwaway quasii_test_* names) and

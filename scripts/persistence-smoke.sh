@@ -86,8 +86,10 @@ wait_ready
 echo "== 2. oracle validation against the fresh server"
 # The -oracle run also scrapes /metrics afterwards and fails on an
 # unparsable exposition or counters inconsistent with the traffic driven.
+# -audit-visibility holds every leg to read-your-writes: an acked insert a
+# same-client re-read cannot see fails the run.
 "$DIR/quasii-loadgen" -addr "$BASE" -oracle -n $N -seed $SEED \
-  -clients 4 -queries 300 -wait 10s
+  -clients 4 -queries 300 -audit-visibility -wait 10s
 
 echo "== 2a. introspection probe (fresh build, post-traffic heat)"
 live_probe fresh
@@ -122,7 +124,7 @@ wait_ready
 echo "== 5. recovered state serves correctly"
 query_has_id 1073742000 || { echo "insert lost across graceful restart"; exit 1; }
 "$DIR/quasii-loadgen" -addr "$BASE" -oracle -n $N -seed $SEED \
-  -clients 4 -queries 300 -wait 10s
+  -clients 4 -queries 300 -audit-visibility -wait 10s
 
 echo "== 5a. introspection probe (warm restart)"
 live_probe warm-restart
@@ -139,7 +141,11 @@ wait_ready
 query_has_id 1073742001 || { echo "insert lost across hard kill (WAL replay failed)"; exit 1; }
 query_has_id 1073742000 || { echo "earlier insert lost across hard kill"; exit 1; }
 
-echo "== 6a. introspection probe (WAL recovery)"
+echo "== 6a. read-your-writes audit on the WAL-recovered server"
+"$DIR/quasii-loadgen" -addr "$BASE" -oracle -n $N -seed $SEED \
+  -clients 4 -queries 300 -audit-visibility -wait 10s
+
+echo "== 6b. introspection probe (WAL recovery)"
 live_probe wal-recovery
 
 kill -TERM "$SRV_PID"

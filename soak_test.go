@@ -4,6 +4,7 @@ package quasii_test
 // data-arrival lifecycle for QUASII. Skipped under -short.
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -48,7 +49,12 @@ func TestSoakMixedWorkloads(t *testing.T) {
 }
 
 // TestSoakAppendFlushLifecycle drives a QUASII index through repeated
-// query/append/flush/complete cycles, validating against a growing oracle.
+// query/append/delete/flush/complete cycles on the versioned read path,
+// validating against a growing oracle. Rounds pin MVCC versions
+// checkpoint-style and hold them across later mutations; at the end every
+// pin must still serialize to exactly the state it froze, and releasing
+// them all must collapse the version chain back to length 1 (the
+// version-GC leak check).
 func TestSoakAppendFlushLifecycle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
@@ -57,9 +63,14 @@ func TestSoakAppendFlushLifecycle(t *testing.T) {
 	live := quasii.UniformDataset(4000, 907)
 	ix := quasii.NewQUASII(quasii.CloneObjects(live), quasii.QUASIIConfig{Tau: 32})
 	nextID := int32(len(live))
+	type pinned struct {
+		v    *quasii.QUASIIVersion
+		want []quasii.Object // live set frozen at pin time
+	}
+	var pins []pinned
 	var got, want []int32
 	for round := 0; round < 30; round++ {
-		switch rng.Intn(5) {
+		switch rng.Intn(6) {
 		case 0: // append a batch
 			batch := quasii.UniformDataset(200, int64(908+round))
 			for i := range batch {
@@ -73,6 +84,17 @@ func TestSoakAppendFlushLifecycle(t *testing.T) {
 		case 2: // complete refinement
 			ix.Flush()
 			ix.Complete()
+		case 3: // delete a few live objects
+			for k := 0; k < 5 && len(live) > 0; k++ {
+				j := rng.Intn(len(live))
+				o := live[j]
+				if !ix.Delete(o.ID, o.Box) {
+					t.Fatalf("round %d: live id %d not found by delete", round, o.ID)
+				}
+				live = append(live[:j], live[j+1:]...)
+			}
+		case 4: // checkpoint-style pin, held across later rounds
+			pins = append(pins, pinned{ix.PinVersion(), quasii.CloneObjects(live)})
 		default: // queries
 		}
 		oracle := quasii.NewScan(live)
@@ -83,7 +105,42 @@ func TestSoakAppendFlushLifecycle(t *testing.T) {
 				t.Fatalf("round %d: got %d results, want %d (live=%d pending=%d)",
 					round, len(got), len(want), len(live), ix.Pending())
 			}
+			// The shared (versioned, non-cracking) read path must agree
+			// whenever it can answer.
+			if shared, ok := ix.QueryShared(q, nil); ok {
+				if !equalIDs(sortedIDs(shared), want) {
+					t.Fatalf("round %d: shared path got %d results, want %d",
+						round, len(shared), len(want))
+				}
+			}
 		}
+	}
+	// Every pin — some held across dozens of mutations, flushes included —
+	// must still serialize to exactly its frozen state.
+	for i, p := range pins {
+		var buf bytes.Buffer
+		if err := ix.SaveVersion(&buf, p.v); err != nil {
+			t.Fatalf("pin %d: SaveVersion: %v", i, err)
+		}
+		re, err := quasii.Load(&buf)
+		if err != nil {
+			t.Fatalf("pin %d: Load: %v", i, err)
+		}
+		oracle := quasii.NewScan(p.want)
+		for _, q := range quasii.UniformQueries(10, 1e-3, int64(940+i)) {
+			got = sortedIDs(re.Query(q, got[:0]))
+			want = sortedIDs(oracle.Query(q, want[:0]))
+			if !equalIDs(got, want) {
+				t.Fatalf("pin %d: recovered checkpoint got %d results, want %d",
+					i, len(got), len(want))
+			}
+		}
+		p.v.Release()
+	}
+	// The leak check: with all pins released and writers quiesced, garbage
+	// collection must have collapsed the chain to the single live version.
+	if lv := ix.LiveVersions(); lv != 1 {
+		t.Fatalf("live versions after quiescence = %d, want 1 (leaked version)", lv)
 	}
 	if ix.Len() != len(live) {
 		t.Fatalf("Len = %d, want %d", ix.Len(), len(live))
